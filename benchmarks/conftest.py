@@ -1,0 +1,79 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+Each ``test_fig_*`` / ``test_table_*`` / ``test_abl_*`` file regenerates
+one figure or table of the paper (see DESIGN.md's experiment index).
+Figures that the paper derives from the *same* simulations (e.g. PDR,
+delay, and overhead vs pause time) share one session-scoped sweep here
+too, exactly like the original methodology.
+
+Scales: default runs in minutes on one CPU; ``MANETSIM_FULL=1`` runs the
+reconstructed paper configuration; ``MANETSIM_QUICK=1`` is smoke scale.
+Rendered outputs land in ``benchmarks/results/*.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import current_scale, run_figure_sweep
+from repro.analysis.experiments import PROTOCOL_SET
+from repro.scenario import run_scenario
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+class _SweepCache:
+    """Lazy session cache: one pause sweep per source count.
+
+    F1–F6, F9, T2 and F7 all derive from these simulations, mirroring
+    how the paper's figures share one simulation campaign.
+    """
+
+    def __init__(self, scale):
+        self.scale = scale
+        self._cache = {}
+
+    def get(self, sources: int):
+        if sources not in self._cache:
+            self._cache[sources] = run_figure_sweep(
+                self.scale,
+                "pause_time",
+                self.scale.pause_values,
+                PROTOCOL_SET,
+                n_connections=sources,
+            )
+        return self._cache[sources]
+
+
+@pytest.fixture(scope="session")
+def sweep_cache(scale):
+    return _SweepCache(scale)
+
+
+@pytest.fixture(scope="session")
+def pause_sweep(sweep_cache, scale):
+    """The base mobility experiment: all protocols × pause values."""
+    return sweep_cache.get(scale.source_counts[0])
+
+
+def representative_cell(scale, **overrides):
+    """One simulation at the figure's most loaded point — the unit whose
+    cost pytest-benchmark reports for this figure."""
+    from repro.analysis import base_config
+
+    cfg = base_config(scale, **overrides)
+    return lambda: run_scenario(cfg)
+
+
+@pytest.fixture
+def bench_cell(benchmark, scale):
+    """Time one representative cell of the calling figure."""
+
+    def _run(**overrides):
+        fn = representative_cell(scale, **overrides)
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,47 @@
+"""A4 — CBRP cluster-pruned flooding vs blind flooding.
+
+CBRP's reason to exist: only cluster heads and gateways relay route
+requests. This ablation turns the pruning off (every node relays, i.e.
+DSR-style blind flooding with CBRP's other machinery intact) and
+measures the flood-cost difference.
+"""
+
+from repro.analysis import base_config, render_series_table, save_result
+from repro.scenario import run_scenario
+
+
+def test_a4_cbrp_pruning(scale, benchmark):
+    results = {}
+
+    def run_all():
+        for prune in (True, False):
+            cfg = base_config(
+                scale, protocol="cbrp", cbrp_prune_flood=prune, pause_time=0.0
+            )
+            results[prune] = run_scenario(cfg)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    cols = ["pruned (heads+gateways)", "blind flood"]
+    table = render_series_table(
+        f"A4: CBRP flood-pruning ablation (scale={scale.name})",
+        "metric",
+        cols,
+        {
+            "PDR": [round(results[k].pdr, 3) for k in (True, False)],
+            "overhead (pkts)": [
+                results[k].routing_overhead_packets for k in (True, False)
+            ],
+            "normalized routing load": [
+                round(results[k].normalized_routing_load, 3) for k in (True, False)
+            ],
+        },
+    )
+    save_result("A4_cbrp_pruning", table)
+
+    assert results[True].pdr > 0.5 and results[False].pdr > 0.5
+    # Pruning must reduce control transmissions.
+    assert (
+        results[True].routing_overhead_packets
+        < results[False].routing_overhead_packets
+    )

@@ -1,0 +1,51 @@
+"""A3 — DSR reply-from-cache on vs off.
+
+DSR's low overhead rests on intermediate nodes answering route
+requests from their caches, cutting floods short. Disabling it forces
+every discovery to reach the destination — overhead should rise and
+the latency of discoveries grow.
+"""
+
+from repro.analysis import base_config, render_series_table, save_result
+from repro.scenario import run_scenario
+
+
+def test_a3_dsr_cache(scale, benchmark):
+    results = {}
+
+    def run_all():
+        for cache_on in (True, False):
+            cfg = base_config(
+                scale,
+                protocol="dsr",
+                dsr_reply_from_cache=cache_on,
+                pause_time=0.0,
+            )
+            results[cache_on] = run_scenario(cfg)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    cols = ["cache replies", "target-only replies"]
+    table = render_series_table(
+        f"A3: DSR reply-from-cache ablation (scale={scale.name})",
+        "metric",
+        cols,
+        {
+            "PDR": [round(results[k].pdr, 3) for k in (True, False)],
+            "overhead (pkts)": [
+                results[k].routing_overhead_packets for k in (True, False)
+            ],
+            "delay (ms)": [
+                round(results[k].avg_delay * 1000, 2) for k in (True, False)
+            ],
+        },
+    )
+    save_result("A3_dsr_cache", table)
+
+    assert results[True].pdr > 0.5 and results[False].pdr > 0.5
+    # Cache replies shorten floods: overhead with caching must not be
+    # materially worse than without.
+    assert (
+        results[True].routing_overhead_packets
+        <= results[False].routing_overhead_packets * 1.1
+    )

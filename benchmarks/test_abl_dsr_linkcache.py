@@ -1,0 +1,46 @@
+"""A7 — DSR cache organization: path cache vs link cache.
+
+The Hu & Johnson design study in miniature: the link cache composes
+routes out of individually learned links (more reuse, fewer
+discoveries) but can assemble stale links into routes that no longer
+exist (more salvaging/errors). Shape: comparable delivery, with the
+link cache trading discovery overhead against error traffic.
+"""
+
+from repro.analysis import base_config, render_series_table, save_result
+from repro.scenario import build_scenario
+
+
+def test_a7_dsr_cache_kind(scale, benchmark):
+    results = {}
+    discoveries = {}
+
+    def run_all():
+        for kind in ("path", "link"):
+            cfg = base_config(scale, protocol="dsr", dsr_cache=kind, pause_time=0.0)
+            scen = build_scenario(cfg)
+            results[kind] = scen.run()
+            discoveries[kind] = sum(
+                n.routing.stats.discoveries for n in scen.network.nodes
+            )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    kinds = ["path", "link"]
+    table = render_series_table(
+        f"A7: DSR cache organization (scale={scale.name})",
+        "metric",
+        kinds,
+        {
+            "PDR": [round(results[k].pdr, 3) for k in kinds],
+            "overhead (pkts)": [results[k].routing_overhead_packets for k in kinds],
+            "route discoveries": [discoveries[k] for k in kinds],
+            "delay (ms)": [round(results[k].avg_delay * 1000, 2) for k in kinds],
+        },
+    )
+    save_result("A7_dsr_cache_kind", table)
+
+    for k in kinds:
+        assert results[k].pdr > 0.5, f"{k} cache must still deliver"
+    # Link composition can only reduce (or match) discovery count.
+    assert discoveries["link"] <= discoveries["path"] * 1.2

@@ -1,0 +1,47 @@
+"""A5 — OLSR MPR flooding vs full link-state flooding (extension).
+
+The multipoint-relay optimization is OLSR's core claim: only MPRs
+relay topology-control messages and only MPR-selector links are
+advertised. Turning it off yields classic full link-state flooding.
+The MPR variant must emit fewer control transmissions for the same
+(or better) delivery.
+"""
+
+from repro.analysis import base_config, render_series_table, save_result
+from repro.scenario import run_scenario
+
+
+def test_a5_olsr_mpr(scale, benchmark):
+    results = {}
+
+    def run_all():
+        for mpr in (True, False):
+            cfg = base_config(
+                scale, protocol="olsr", olsr_use_mpr=mpr, pause_time=0.0
+            )
+            results[mpr] = run_scenario(cfg)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    cols = ["MPR flooding", "full link-state"]
+    table = render_series_table(
+        f"A5: OLSR MPR ablation (scale={scale.name})",
+        "metric",
+        cols,
+        {
+            "PDR": [round(results[k].pdr, 3) for k in (True, False)],
+            "overhead (pkts)": [
+                results[k].routing_overhead_packets for k in (True, False)
+            ],
+            "normalized MAC load": [
+                round(results[k].normalized_mac_load, 2) for k in (True, False)
+            ],
+        },
+    )
+    save_result("A5_olsr_mpr", table)
+
+    assert (
+        results[True].routing_overhead_packets
+        < results[False].routing_overhead_packets
+    ), "MPR flooding must cut control transmissions"
+    assert results[True].pdr >= results[False].pdr - 0.1

@@ -1,0 +1,58 @@
+"""F8 — Scaling with network size (node count, area scaled with it).
+
+The field area grows proportionally with the node count so *density*
+stays fixed and the variable is network diameter / path length. Paper
+shape: AODV and DSR scale gracefully; DSDV's overhead grows with the
+table size (every node advertises every destination); delivery drops
+for everyone as paths lengthen.
+"""
+
+from repro.analysis import (
+    render_ascii_chart,
+    render_series_table,
+    run_figure_sweep,
+    save_result,
+)
+from repro.analysis.experiments import PROTOCOL_SET
+
+
+def test_f8_density_sweep(scale, bench_cell):
+    base_nodes = scale.n_nodes
+    base_w, base_h = scale.field
+    counts = list(scale.node_counts)
+
+    # One sweep per node count with the area scaled to constant density.
+    results = {}
+    for n in counts:
+        ratio = n / base_nodes
+        field = (base_w * ratio, base_h)
+        cfg_overrides = dict(n_nodes=n, field_size=field)
+        results[n] = run_figure_sweep(
+            scale, "pause_time", [scale.pause_values[0]], PROTOCOL_SET,
+            **cfg_overrides,
+        )
+
+    pdr = {p: [results[n].estimate(p, scale.pause_values[0], "pdr").mean for n in counts] for p in PROTOCOL_SET}
+    ovh = {p: [results[n].estimate(p, scale.pause_values[0], "overhead_pkts").mean for n in counts] for p in PROTOCOL_SET}
+
+    text = render_series_table(
+        f"F8a: packet delivery ratio vs network size (constant density, "
+        f"scale={scale.name})",
+        "nodes",
+        counts,
+        pdr,
+    )
+    text += "\n\n" + render_series_table(
+        "F8b: routing overhead vs network size",
+        "nodes",
+        counts,
+        ovh,
+    )
+    text += "\n\n" + render_ascii_chart(counts, ovh, y_label="pkts")
+    save_result("F8_density_sweep", text)
+
+    # DSDV overhead grows with network size (periodic full dumps of a
+    # bigger table); on-demand protocols' overhead grows sub-DSDV.
+    assert ovh["dsdv"][-1] > ovh["dsdv"][0]
+    assert ovh["dsr"][-1] < ovh["dsdv"][-1]
+    bench_cell(n_nodes=counts[-1], field_size=(base_w * counts[-1] / base_nodes, base_h))

@@ -1,0 +1,47 @@
+"""F7 — Delivery and overhead vs offered load (number of CBR sources).
+
+Reuses the pause-0 column of the F1/F2/F3 simulation campaign (the
+paper derives its load figures from the same runs). Shape: all
+protocols degrade as sources increase (medium contention + queue
+pressure); DSDV degrades fastest because congestion losses compound
+with stale-route losses.
+"""
+
+from repro.analysis import render_ascii_chart, render_series_table, save_result
+from repro.analysis.experiments import PROTOCOL_SET
+
+
+def test_f7_load_sweep(sweep_cache, scale, bench_cell):
+    sources = list(scale.source_counts)
+    pause0 = scale.pause_values[0]
+    pdr = {p: [] for p in PROTOCOL_SET}
+    ovh = {p: [] for p in PROTOCOL_SET}
+    for n_src in sources:
+        result = sweep_cache.get(n_src)
+        for p in PROTOCOL_SET:
+            pdr[p].append(result.estimate(p, pause0, "pdr").mean)
+            ovh[p].append(result.estimate(p, pause0, "overhead_pkts").mean)
+
+    text = render_series_table(
+        f"F7a: packet delivery ratio vs offered load (pause {pause0:.0f} s, "
+        f"scale={scale.name})",
+        "sources",
+        sources,
+        pdr,
+    )
+    text += "\n\n" + render_ascii_chart(sources, pdr, y_label="PDR")
+    text += "\n\n" + render_series_table(
+        "F7b: routing overhead vs offered load",
+        "sources",
+        sources,
+        ovh,
+    )
+    save_result("F7_load_sweep", text)
+
+    for p in PROTOCOL_SET:
+        assert all(0.0 <= v <= 1.0 for v in pdr[p])
+    # Delivery does not *improve* with load for any protocol (tolerance
+    # for single-replication noise).
+    for p in PROTOCOL_SET:
+        assert pdr[p][-1] <= pdr[p][0] + 0.05
+    bench_cell(protocol="aodv", n_connections=sources[-1])

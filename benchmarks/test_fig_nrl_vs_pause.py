@@ -1,0 +1,32 @@
+"""F6 — Normalized routing load (control tx per delivered packet).
+
+Same simulations as F5 but normalized by delivered data, the
+efficiency view: a protocol may flood more in absolute terms yet win
+per useful packet. Paper shape: DSR most efficient, DSDV least at high
+mobility (it pays its periodic cost regardless of what it delivers).
+"""
+
+from repro.analysis import (
+    render_ascii_chart,
+    render_series_table,
+    save_result,
+    series_with_ci,
+)
+
+
+def test_f6_nrl_vs_pause(pause_sweep, bench_cell, scale):
+    means, cis = series_with_ci(pause_sweep, "nrl")
+    table = render_series_table(
+        f"F6: normalized routing load vs pause time (scale={scale.name})",
+        "pause (s)",
+        pause_sweep.xs,
+        means,
+        ci=cis,
+    )
+    chart = render_ascii_chart(pause_sweep.xs, means, y_label="ctl/data")
+    save_result("F6_nrl_vs_pause", table + "\n\n" + chart)
+
+    at0 = {p: means[p][0] for p in means}
+    assert at0["dsr"] == min(at0.values()), "DSR is the most efficient"
+    assert at0["dsdv"] > at0["aodv"], "DSDV pays periodic cost at high mobility"
+    bench_cell(protocol="cbrp", pause_time=0.0)

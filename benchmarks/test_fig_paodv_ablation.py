@@ -1,0 +1,79 @@
+"""F9/A2 — PAODV vs AODV: what does preemption buy, and at what price?
+
+The PAODV columns of the shared pause sweep isolate the preemption
+mechanism (PAODV *is* AODV plus preemptive warnings). Paper shape:
+PAODV matches or slightly improves AODV's delivery/delay at high
+mobility in exchange for extra control traffic.
+
+A2 additionally sweeps the preemption threshold ratio: warn too early
+(low ratio → large trigger area) and overhead explodes; warn too late
+and it degenerates to plain AODV.
+"""
+
+from repro.analysis import (
+    base_config,
+    render_series_table,
+    save_result,
+    series_with_ci,
+)
+
+
+def test_f9_paodv_vs_aodv(pause_sweep, bench_cell, scale):
+    pair = ("aodv", "paodv")
+    rows = {}
+    for metric, label in (
+        ("pdr", "PDR"),
+        ("avg_delay", "delay (s)"),
+        ("overhead_pkts", "overhead"),
+    ):
+        means, _ = series_with_ci(pause_sweep, metric)
+        for p in pair:
+            rows[f"{label} {p}"] = means[p]
+    table = render_series_table(
+        f"F9: PAODV vs AODV across pause times (scale={scale.name})",
+        "pause (s)",
+        pause_sweep.xs,
+        rows,
+    )
+    save_result("F9_paodv_vs_aodv", table)
+
+    # Preemption must not *hurt* delivery materially at max mobility...
+    pdr, _ = series_with_ci(pause_sweep, "pdr")
+    assert pdr["paodv"][0] >= pdr["aodv"][0] - 0.05
+    # ... and must cost extra control traffic (it sends warnings).
+    ovh, _ = series_with_ci(pause_sweep, "overhead_pkts")
+    assert ovh["paodv"][0] >= ovh["aodv"][0]
+    bench_cell(protocol="paodv", pause_time=0.0)
+
+
+def test_a2_preempt_threshold_sweep(scale, benchmark):
+    ratios = [0.7, 0.95]
+    rows = {"ratio": ratios, "pdr": [], "overhead": [], "preempt discoveries": []}
+
+    def run_all():
+        for ratio in ratios:
+            cfg = base_config(
+                scale, protocol="paodv", preempt_ratio=ratio, pause_time=0.0
+            )
+            from repro.scenario import build_scenario
+
+            scen = build_scenario(cfg)
+            summary = scen.run()
+            preempts = sum(
+                n.routing.preemptive_discoveries for n in scen.network.nodes
+            )
+            rows["pdr"].append(round(summary.pdr, 3))
+            rows["overhead"].append(summary.routing_overhead_packets)
+            rows["preempt discoveries"].append(preempts)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_series_table(
+        f"A2: PAODV preemption-threshold ablation (scale={scale.name})",
+        "trigger at fraction of range",
+        ratios,
+        {k: v for k, v in rows.items() if k != "ratio"},
+    )
+    save_result("A2_preempt_threshold", table)
+    # A larger trigger area (smaller ratio -> earlier warning) cannot
+    # produce *fewer* preemptive discoveries.
+    assert rows["preempt discoveries"][0] >= rows["preempt discoveries"][-1]

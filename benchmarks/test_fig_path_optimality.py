@@ -1,0 +1,65 @@
+"""F11 — Path optimality (route stretch) per protocol.
+
+Methodology-lineage figure (Broch et al. Fig. 6): histogram of
+``actual hops − optimal hops`` per delivered packet. Shape: DSDV and
+DSR routes are near-optimal (full tables / shortest cached paths);
+AODV is close; CBRP stretches the most (routes pass through cluster
+heads before shortening kicks in).
+"""
+
+from repro.analysis import (
+    PathOptimalityProbe,
+    base_config,
+    render_series_table,
+    save_result,
+)
+from repro.analysis.experiments import PROTOCOL_SET
+from repro.scenario import build_scenario
+
+
+def test_f11_path_optimality(scale, benchmark):
+    summaries = {}
+
+    def run_all():
+        for proto in PROTOCOL_SET:
+            cfg = base_config(scale, protocol=proto, pause_time=0.0)
+            scen = build_scenario(cfg)
+            probe = PathOptimalityProbe(
+                scen.network, radio_range=250.0, sample_every=4
+            )
+            scen.run()
+            summaries[proto] = probe.summary()
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    protos = list(PROTOCOL_SET)
+    max_stretch = max(
+        (d for s in summaries.values() for d in s.histogram), default=0
+    )
+    rows = {"mean stretch": [round(summaries[p].mean_stretch, 3) for p in protos]}
+    rows["fraction optimal"] = [
+        round(summaries[p].fraction_optimal, 3) for p in protos
+    ]
+    for d in range(0, min(max_stretch, 4) + 1):
+        rows[f"stretch +{d} (frac)"] = [
+            round(
+                summaries[p].histogram.get(d, 0) / max(summaries[p].sampled, 1), 3
+            )
+            for p in protos
+        ]
+    table = render_series_table(
+        f"F11: path optimality — hops taken minus shortest possible "
+        f"(scale={scale.name})",
+        "metric \\ protocol",
+        protos,
+        rows,
+    )
+    save_result("F11_path_optimality", table)
+
+    for p in protos:
+        s = summaries[p]
+        assert s.sampled > 0, f"{p} delivered nothing to sample"
+        # Routes are loop-free: bounded stretch.
+        assert s.mean_stretch < 4.0, f"{p} mean stretch {s.mean_stretch}"
+    # The proactive table-driven protocol picks near-shortest paths.
+    assert summaries["dsdv"].mean_stretch <= summaries["cbrp"].mean_stretch + 0.5

@@ -1,0 +1,55 @@
+"""F1/F2/F3 — Packet delivery fraction vs pause time, per source count.
+
+Paper shape: the on-demand protocols (DSR, AODV, PAODV, CBRP) deliver a
+high fraction of packets at every pause time; DSDV is the lowest at
+pause 0 (maximum mobility) because stale routes drop packets until the
+next periodic update. Separation grows with offered load (F2, F3).
+"""
+
+import pytest
+
+from repro.analysis import (
+    render_ascii_chart,
+    render_series_table,
+    save_result,
+    series_with_ci,
+)
+from repro.analysis.experiments import PROTOCOL_SET
+
+
+def _render(exp_id, title, result):
+    means, cis = series_with_ci(result, "pdr")
+    table = render_series_table(title, "pause (s)", result.xs, means, ci=cis)
+    chart = render_ascii_chart(result.xs, means, y_label="PDR")
+    return save_result(exp_id, table + "\n\n" + chart), means
+
+
+def test_f1_pdr_vs_pause_low_load(pause_sweep, bench_cell, scale):
+    _, means = _render(
+        "F1_pdr_vs_pause",
+        f"F1: packet delivery ratio vs pause time "
+        f"({scale.source_counts[0]} sources, scale={scale.name})",
+        pause_sweep,
+    )
+    # Shape checks (loose: single replication at reduced scale).
+    moving = {p: means[p][0] for p in PROTOCOL_SET}
+    assert all(0.0 <= v <= 1.0 for v in moving.values())
+    # DSDV must not beat the best on-demand protocol at max mobility.
+    best_od = max(moving[p] for p in ("dsr", "aodv", "paodv", "cbrp"))
+    assert moving["dsdv"] <= best_od + 0.02
+    bench_cell(protocol="aodv", pause_time=0.0)
+
+
+@pytest.mark.parametrize("load_idx, exp_id", [(1, "F2"), (2, "F3")])
+def test_f2_f3_pdr_vs_pause_higher_load(load_idx, exp_id, scale, bench_cell, sweep_cache):
+    if load_idx >= len(scale.source_counts):
+        pytest.skip("scale has no higher load tier")
+    sources = scale.source_counts[load_idx]
+    result = sweep_cache.get(sources)
+    _render(
+        f"{exp_id}_pdr_vs_pause_{sources}src",
+        f"{exp_id}: packet delivery ratio vs pause time "
+        f"({sources} sources, scale={scale.name})",
+        result,
+    )
+    bench_cell(protocol="aodv", pause_time=0.0, n_connections=sources)

@@ -1,0 +1,51 @@
+"""F10 — Mobility-rate sensitivity: metrics vs maximum node speed.
+
+Pause time fixed at 0 (always moving); the knob is how *fast*. Paper
+shape: at walking speed every protocol is near-perfect; as speed grows
+link lifetimes shrink and DSDV sheds delivery first, while the
+on-demand protocols trade a little delivery for more discovery
+overhead.
+"""
+
+from repro.analysis import (
+    render_ascii_chart,
+    render_series_table,
+    run_figure_sweep,
+    save_result,
+    series_with_ci,
+)
+from repro.analysis.experiments import PROTOCOL_SET
+
+
+def test_f10_speed_sweep(scale, bench_cell):
+    result = run_figure_sweep(
+        scale, "max_speed", list(scale.speed_values), PROTOCOL_SET,
+        pause_time=0.0,
+    )
+    pdr, pdr_ci = series_with_ci(result, "pdr")
+    ovh, _ = series_with_ci(result, "overhead_pkts")
+
+    text = render_series_table(
+        f"F10a: packet delivery ratio vs max speed (m/s) (scale={scale.name})",
+        "speed",
+        result.xs,
+        pdr,
+        ci=pdr_ci,
+    )
+    text += "\n\n" + render_ascii_chart(result.xs, pdr, y_label="PDR")
+    text += "\n\n" + render_series_table(
+        "F10b: routing overhead vs max speed",
+        "speed",
+        result.xs,
+        ovh,
+    )
+    save_result("F10_speed_sweep", text)
+
+    # At the lowest speed everything delivers well.
+    slowest = {p: pdr[p][0] for p in PROTOCOL_SET}
+    assert all(v > 0.8 for v in slowest.values()), slowest
+    # DSDV's delivery at top speed does not exceed the best on-demand.
+    fastest = {p: pdr[p][-1] for p in PROTOCOL_SET}
+    best_od = max(fastest[p] for p in ("dsr", "aodv", "paodv", "cbrp"))
+    assert fastest["dsdv"] <= best_od + 0.02
+    bench_cell(protocol="dsdv", max_speed=scale.speed_values[-1])

@@ -1,0 +1,92 @@
+"""Kernel microbenchmarks: the primitives every simulation second buys.
+
+Unlike the figure benches (one-shot experiment regenerations), these
+run multiple rounds and exist to catch performance regressions in the
+hot paths identified by profiling: event scheduling, the channel
+fan-out, vectorized propagation, and mobility evaluation.
+"""
+
+import numpy as np
+
+from repro.core import Simulator
+from repro.core.rng import RngStreams
+from repro.mobility import Field, MobilityManager, RandomWaypoint
+from repro.phy.propagation import TwoRayGround
+
+
+def test_perf_event_throughput(benchmark):
+    """Schedule + fire 10k chained events."""
+
+    def run():
+        sim = Simulator(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_perf_event_cancellation(benchmark):
+    """Schedule 5k timers, cancel 80 % (the retransmit-timer pattern)."""
+
+    def run():
+        sim = Simulator(seed=1)
+        events = [sim.schedule(1.0 + i * 1e-4, lambda: None) for i in range(5000)]
+        for i, ev in enumerate(events):
+            if i % 5 != 0:
+                sim.cancel(ev)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 1000
+
+
+def test_perf_propagation_vectorized(benchmark):
+    """One transmission's power computation for 100 receivers."""
+    model = TwoRayGround()
+    d = np.linspace(1.0, 900.0, 100)
+
+    out = benchmark(model.rx_power_vec, 0.28183815, d)
+    assert out.shape == (100,)
+
+
+def test_perf_mobility_positions(benchmark):
+    """Evaluate 50 waypoint trajectories at advancing timestamps."""
+    streams = RngStreams(3)
+    field = Field(1500.0, 300.0)
+    models = [
+        RandomWaypoint(field, streams.stream(f"m{i}"), max_speed=20.0)
+        for i in range(50)
+    ]
+    mgr = MobilityManager(models)
+    state = {"t": 0.0}
+
+    def run():
+        state["t"] += 0.37
+        return mgr.positions(state["t"])
+
+    assert benchmark(run).shape == (50, 2)
+
+
+def test_perf_small_scenario(benchmark):
+    """End-to-end cost of a 10-node, 10-second AODV scenario."""
+    from repro.scenario import ScenarioConfig, run_scenario
+
+    cfg = ScenarioConfig(
+        protocol="aodv",
+        n_nodes=10,
+        field_size=(600.0, 300.0),
+        duration=10.0,
+        n_connections=3,
+        traffic_start_window=(0.0, 2.0),
+        seed=4,
+    )
+    summary = benchmark.pedantic(run_scenario, args=(cfg,), rounds=3, iterations=1)
+    assert summary.data_sent > 0

@@ -1,0 +1,35 @@
+"""T1 — The simulation-parameter table (the paper's Table 1).
+
+Echoes the exact configuration every figure bench runs with, at the
+active scale, next to the reconstructed full-scale values, so a reader
+of ``benchmarks/results/`` can interpret every other output file.
+"""
+
+from repro.analysis import base_config, render_kv_table, save_result
+from repro.analysis.experiments import FULL
+
+
+def test_t1_parameter_table(scale, benchmark):
+    cfg = benchmark.pedantic(
+        lambda: base_config(scale), rounds=1, iterations=1
+    )
+    full = base_config(FULL)
+    pairs = {
+        "scale": scale.name,
+        "nodes": f"{cfg.n_nodes}   (paper: {full.n_nodes})",
+        "area (m)": f"{cfg.field_size[0]:.0f}x{cfg.field_size[1]:.0f}"
+        f"   (paper: {full.field_size[0]:.0f}x{full.field_size[1]:.0f})",
+        "duration (s)": f"{cfg.duration:.0f}   (paper: {full.duration:.0f})",
+        "mobility": "random waypoint (steady-state init)",
+        "max speed (m/s)": cfg.max_speed,
+        "pause times (s)": ", ".join(f"{p:.0f}" for p in scale.pause_values),
+        "traffic": f"CBR/UDP, {cfg.rate:.0f} pkt/s, {cfg.packet_size} B",
+        "sources": ", ".join(str(s) for s in scale.source_counts),
+        "MAC": "IEEE 802.11 DCF, RTS/CTS, 2 Mb/s",
+        "propagation": "two-ray ground, 250 m RX / 550 m CS",
+        "interface queue": f"{cfg.ifq_capacity} packets, drop-tail, control priority",
+        "replications": scale.replications,
+        "protocols": "DSDV, DSR, AODV, PAODV, CBRP (+OLSR extension)",
+    }
+    save_result("T1_parameters", render_kv_table("T1: simulation parameters", pairs))
+    assert cfg.n_nodes >= 2

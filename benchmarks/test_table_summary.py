@@ -1,0 +1,36 @@
+"""T2 — Per-protocol summary table at the base scenario (pause 0).
+
+The cross-protocol at-a-glance comparison the paper's conclusion
+draws from: delivery, delay, absolute and normalized overhead, MAC
+load, and path length, per protocol, at maximum mobility.
+"""
+
+from repro.analysis import render_series_table, save_result
+from repro.analysis.experiments import PROTOCOL_SET
+
+
+def test_t2_summary_table(pause_sweep, bench_cell, scale):
+    pause0 = pause_sweep.xs[0]
+    get = lambda p, m: pause_sweep.estimate(p, pause0, m).mean
+    protos = list(PROTOCOL_SET)
+    rows = {
+        "PDR": [round(get(p, "pdr"), 3) for p in protos],
+        "delay (ms)": [round(get(p, "avg_delay") * 1000, 2) for p in protos],
+        "overhead (pkts)": [int(get(p, "overhead_pkts")) for p in protos],
+        "normalized routing load": [round(get(p, "nrl"), 3) for p in protos],
+        "normalized MAC load": [round(get(p, "mac_load"), 2) for p in protos],
+        "avg path (links)": [round(get(p, "avg_hops") + 1, 2) for p in protos],
+    }
+    table = render_series_table(
+        f"T2: protocol summary at pause {pause0:.0f} s (scale={scale.name})",
+        "metric \\ protocol",
+        protos,
+        rows,
+    )
+    save_result("T2_summary", table)
+
+    pdrs = dict(zip(protos, rows["PDR"]))
+    # Paper conclusion: at max mobility the on-demand protocols beat or
+    # match DSDV on delivery.
+    assert pdrs["dsdv"] <= max(pdrs[p] for p in ("dsr", "aodv", "paodv", "cbrp")) + 0.02
+    bench_cell(protocol="cbrp", pause_time=0.0)

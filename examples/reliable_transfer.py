@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Reliable telemetry stream over a mobile network: the TCP interaction.
+
+The paper's metric discussion notes that with a reliable transport,
+every lost data packet comes back as a retransmission — so routing
+losses cost *time*, not just delivery ratio. This example paces a
+50-segment telemetry stream (one segment every few seconds) through a moving 20-node network with a
+stop-and-wait transport and compares completion time and
+retransmission count over AODV vs DSDV.
+
+    python examples/reliable_transfer.py
+"""
+
+from repro import ScenarioConfig, build_scenario
+from repro.analysis import render_series_table
+from repro.traffic import ReliableSink, ReliableSource
+
+PROTOCOLS = ["aodv", "dsdv"]
+SEGMENTS = 50
+
+base = ScenarioConfig(
+    n_nodes=20,
+    field_size=(1000.0, 300.0),
+    max_speed=20.0,
+    pause_time=0.0,
+    duration=300.0,
+    n_connections=3,        # background CBR load
+    rate=2.0,
+    traffic_start_window=(0.0, 10.0),
+    seed=19,
+)
+
+rows = {"completed": [], "transfer time (s)": [], "retransmissions": [],
+        "duplicates at sink": []}
+for proto in PROTOCOLS:
+    print(f"running {proto}: {SEGMENTS}-segment transfer + background CBR ...")
+    scen = build_scenario(base.with_(protocol=proto))
+    sink = ReliableSink(scen.network.nodes[19], flow_id=99)
+    source = ReliableSource(
+        scen.sim, scen.network.nodes[0], 19,
+        n_segments=SEGMENTS, size=512, flow_id=99, timeout=1.0, gap=3.0,
+    )
+    scen.network.start_routing()
+    for s in scen.sources:
+        s.begin()
+    scen.sim.schedule(5.0, source.begin)  # let routing warm up
+    scen.sim.run(until=base.duration)
+
+    rows["completed"].append("yes" if source.complete else
+                             ("abandoned" if source.abandoned else "timed out"))
+    t = source.transfer_time
+    rows["transfer time (s)"].append(round(t, 1) if t is not None else "-")
+    rows["retransmissions"].append(source.retransmissions)
+    rows["duplicates at sink"].append(sink.duplicates)
+
+print("\n" + render_series_table(
+    f"Reliable {SEGMENTS}x512B transfer across a mobile MANET",
+    "metric \\ protocol", PROTOCOLS, rows))
+
+print("\nEvery routing loss resurfaces as transport retransmission — the"
+      "\nmechanism behind the paper's remark that TCP turns packet loss"
+      "\ninto congestion.")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Domain scenario: an urban vehicle convoy on a Manhattan street grid.
+
+The MANET literature the paper sits in is motivated by exactly this
+kind of deployment: vehicles constrained to streets, command traffic
+flowing to a lead vehicle. Streets concentrate nodes along lines, which
+stresses routing differently from open-field random waypoint — routes
+are longer and break in bursts at intersections.
+
+Compares AODV (reactive) against OLSR (proactive link-state, this
+repo's extension protocol) on the same grid.
+
+    python examples/urban_convoy.py
+"""
+
+from repro import ScenarioConfig, run_scenario
+from repro.analysis import render_series_table
+
+PROTOCOLS = ["aodv", "olsr"]
+
+base = ScenarioConfig(
+    n_nodes=30,
+    field_size=(1000.0, 1000.0),
+    mobility="manhattan",          # vehicles follow a 5x5 street grid
+    max_speed=15.0,                # ~54 km/h urban speed
+    min_speed=5.0,
+    duration=120.0,
+    n_connections=6,               # squads reporting to leads
+    rate=4.0,
+    packet_size=64,
+    traffic_start_window=(0.0, 20.0),
+    seed=31,
+)
+
+print("Urban convoy: 30 vehicles on a 5x5 Manhattan grid, 1 km², 120 s\n")
+rows = {}
+for proto in PROTOCOLS:
+    print(f"  running {proto} ...")
+    s = run_scenario(base.with_(protocol=proto))
+    rows[proto] = s
+
+table = render_series_table(
+    "Urban convoy results",
+    "metric \\ protocol",
+    PROTOCOLS,
+    {
+        "PDR": [round(rows[p].pdr, 3) for p in PROTOCOLS],
+        "delay (ms)": [round(rows[p].avg_delay * 1000, 2) for p in PROTOCOLS],
+        "routing overhead": [rows[p].routing_overhead_packets for p in PROTOCOLS],
+        "normalized MAC load": [round(rows[p].normalized_mac_load, 2) for p in PROTOCOLS],
+    },
+)
+print("\n" + table)
+
+a, o = rows["aodv"], rows["olsr"]
+print(
+    f"\nOLSR answers from its table ({o.avg_delay*1000:.1f} ms avg delay vs "
+    f"{a.avg_delay*1000:.1f} ms for AODV) but pays {o.routing_overhead_packets}"
+    f" control packets to AODV's {a.routing_overhead_packets} — the"
+    " proactive/reactive trade at city scale."
+)

@@ -1,0 +1,45 @@
+"""manetsim — a discrete-event MANET simulator and routing-protocol
+comparison harness reproducing *A Performance Comparison of Routing
+Protocols for Ad Hoc Networks* (IPPS 2001).
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_scenario
+
+    summary = run_scenario(ScenarioConfig(protocol="aodv", duration=100.0))
+    print(summary.pdr, summary.avg_delay, summary.normalized_routing_load)
+
+Layer packages: :mod:`repro.core` (kernel), :mod:`repro.phy`,
+:mod:`repro.mac`, :mod:`repro.net`, :mod:`repro.mobility`,
+:mod:`repro.traffic`, :mod:`repro.routing`, :mod:`repro.stats`,
+:mod:`repro.scenario`, :mod:`repro.analysis`.
+"""
+
+from .core import Simulator
+from .scenario import (
+    PROTOCOLS,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+    run_replications,
+    run_scenario,
+    run_sweep,
+)
+from .stats import MetricsCollector, MetricsSummary, aggregate_summaries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "PROTOCOLS",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+    "run_replications",
+    "run_scenario",
+    "run_sweep",
+    "MetricsCollector",
+    "MetricsSummary",
+    "aggregate_summaries",
+    "__version__",
+]

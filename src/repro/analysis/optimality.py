@@ -1,0 +1,95 @@
+"""Path optimality: protocol routes vs the true shortest path.
+
+The methodology lineage (Broch et al.) reports, for each delivered
+packet, the difference between the number of hops it took and the
+number of hops on the shortest possible path at that moment. A probe
+computes the oracle path with global knowledge at delivery time (the
+same machinery as :mod:`repro.routing.oracle`), so the histogram of
+``actual − optimal`` measures how much a protocol's routes stretch.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from ..net.packet import Packet
+from ..net.stack import Network
+from ..routing.oracle import shortest_hop_path
+
+__all__ = ["PathOptimalityProbe", "OptimalitySummary"]
+
+
+@dataclass
+class OptimalitySummary:
+    """Distribution of path stretch over sampled deliveries."""
+
+    sampled: int
+    #: Histogram of (actual_links - optimal_links) -> count.
+    histogram: Dict[int, int]
+    mean_stretch: float
+    fraction_optimal: float
+
+
+class PathOptimalityProbe:
+    """Samples delivered data packets and scores their path length.
+
+    Parameters
+    ----------
+    network:
+        The wired scenario network (positions come from its mobility).
+    radio_range:
+        Link threshold for the oracle graph (the radio's RX range).
+    sample_every:
+        Compute the oracle path for every k-th delivery only — the
+        oracle is O(N²) per packet, so sampling keeps probes cheap.
+    """
+
+    def __init__(self, network: Network, radio_range: float = 250.0, sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.network = network
+        self.radio_range = radio_range
+        self.sample_every = sample_every
+        self._counter = 0
+        self._diffs: Counter = Counter()
+        self._unreachable = 0
+        for node in network.nodes:
+            node.register_receiver(self._on_delivery)
+
+    # ------------------------------------------------------------- events
+
+    def _on_delivery(self, packet: Packet, prev_hop: int) -> None:
+        if not packet.is_data or packet.proto != "cbr":
+            return
+        self._counter += 1
+        if self._counter % self.sample_every:
+            return
+        positions = self.network.mobility.positions(self.network.sim.now)
+        path = shortest_hop_path(positions, packet.src, packet.dst, self.radio_range)
+        if path is None:
+            # Delivered across a momentary bridge the oracle no longer
+            # sees (positions moved since the packet was in flight).
+            self._unreachable += 1
+            return
+        optimal_links = len(path) - 1
+        actual_links = packet.hops + 1
+        self._diffs[actual_links - optimal_links] += 1
+
+    # ------------------------------------------------------------- results
+
+    def summary(self) -> OptimalitySummary:
+        total = sum(self._diffs.values())
+        if total == 0:
+            return OptimalitySummary(0, {}, float("nan"), float("nan"))
+        mean = sum(d * c for d, c in self._diffs.items()) / total
+        # "Optimal" tolerates stretch <= 0: mobility can make the path
+        # taken *shorter* than the oracle's snapshot at delivery time.
+        optimal = sum(c for d, c in self._diffs.items() if d <= 0)
+        return OptimalitySummary(
+            sampled=total,
+            histogram=dict(sorted(self._diffs.items())),
+            mean_stretch=mean,
+            fraction_optimal=optimal / total,
+        )

@@ -1,0 +1,112 @@
+"""ASCII rendering of experiment results (the "figures" of this repo).
+
+The paper presents line charts; a terminal bench run regenerates each
+as a table of series (one row per protocol, one column per x value)
+plus an ASCII chart so the *shape* — who wins, where lines cross — is
+visible at a glance in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["render_series_table", "render_ascii_chart", "render_kv_table", "fmt"]
+
+
+def fmt(value: Any, digits: int = 4) -> str:
+    """Human-compact number formatting."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_series_table(
+    title: str,
+    x_label: str,
+    xs: Sequence[Any],
+    series: Dict[str, Sequence[Any]],
+    ci: Optional[Dict[str, Sequence[float]]] = None,
+) -> str:
+    """One row per series, one column per x; optional ±CI annotations."""
+    headers = [x_label] + [fmt(x) for x in xs]
+    rows: List[List[str]] = []
+    for name in series:
+        cells = []
+        for i, v in enumerate(series[name]):
+            cell = fmt(v)
+            if ci is not None and name in ci and not math.isnan(ci[name][i]):
+                cell += f"±{fmt(ci[name][i], 2)}"
+            cells.append(cell)
+        rows.append([name] + cells)
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title, "=" * len(title), line(headers), sep]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def render_ascii_chart(
+    xs: Sequence[Any],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+    y_label: str = "",
+) -> str:
+    """Scatter the series over a character grid (one marker per series)."""
+    markers = "ox+*#@%&"
+    finite = [
+        v for vals in series.values() for v in vals if v is not None and math.isfinite(v)
+    ]
+    if not finite:
+        return "(no finite data to chart)"
+    lo, hi = min(finite), max(finite)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = len(xs)
+    for s_idx, (name, vals) in enumerate(series.items()):
+        m = markers[s_idx % len(markers)]
+        for i, v in enumerate(vals):
+            if v is None or not math.isfinite(v):
+                continue
+            col = int(round(i * (width - 1) / max(n - 1, 1)))
+            row = int(round((v - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - row][col] = m
+    lines = []
+    for r, row_cells in enumerate(grid):
+        label = fmt(hi) if r == 0 else (fmt(lo) if r == height - 1 else "")
+        lines.append(f"{label:>9} |" + "".join(row_cells))
+    lines.append(" " * 10 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{y_label}   {legend}")
+    return "\n".join(lines)
+
+
+def render_kv_table(title: str, pairs: Dict[str, Any]) -> str:
+    """Two-column parameter table (the paper's Table 1 style)."""
+    key_w = max(len(k) for k in pairs)
+    val_w = max(len(fmt(v)) for v in pairs.values())
+    out = [title, "=" * len(title)]
+    for k, v in pairs.items():
+        out.append(f"{k.ljust(key_w)} | {fmt(v).ljust(val_w)}")
+    return "\n".join(out)

@@ -1,0 +1,215 @@
+"""Command-line interface: run simulations without writing Python.
+
+Examples::
+
+    python -m repro run --protocol aodv --nodes 50 --duration 300
+    python -m repro compare --protocols dsdv dsr aodv --pause 0
+    python -m repro sweep --param pause_time --values 0 30 120 \\
+        --protocols dsdv aodv --replications 3 --metric pdr
+    python -m repro protocols
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import render_kv_table, render_series_table
+from .scenario import PROTOCOLS, ScenarioConfig, run_scenario, run_sweep
+from .scenario.io import load_config, save_config, sweep_to_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_scenario_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nodes", type=int, default=50, help="node count (default 50)")
+    p.add_argument(
+        "--field", type=float, nargs=2, default=(1500.0, 300.0),
+        metavar=("W", "H"), help="field size in meters (default 1500 300)",
+    )
+    p.add_argument("--duration", type=float, default=300.0, help="simulated seconds")
+    p.add_argument("--sources", type=int, default=10, help="CBR connection count")
+    p.add_argument("--rate", type=float, default=4.0, help="packets/s per source")
+    p.add_argument("--packet-size", type=int, default=64, help="payload bytes")
+    p.add_argument("--speed", type=float, default=20.0, help="max speed m/s")
+    p.add_argument("--pause", type=float, default=0.0, help="waypoint pause s")
+    p.add_argument(
+        "--mobility", default="waypoint",
+        choices=["waypoint", "walk", "direction", "gauss_markov", "manhattan", "rpgm", "static"],
+    )
+    p.add_argument("--mac", default="dcf", choices=["dcf", "ideal"])
+    p.add_argument("--no-rtscts", action="store_true", help="disable RTS/CTS")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--config", metavar="JSON",
+                   help="load the scenario from a JSON file (other scenario "
+                        "flags are ignored; --protocol still applies)")
+    p.add_argument("--save-config", metavar="JSON",
+                   help="write the effective scenario to a JSON file")
+
+
+def _config_from(args, protocol: str) -> ScenarioConfig:
+    if getattr(args, "config", None):
+        cfg = load_config(args.config).with_(protocol=protocol)
+    else:
+        cfg = _config_from_flags(args, protocol)
+    if getattr(args, "save_config", None):
+        save_config(cfg, args.save_config)
+    return cfg
+
+
+def _config_from_flags(args, protocol: str) -> ScenarioConfig:
+    return ScenarioConfig(
+        protocol=protocol,
+        n_nodes=args.nodes,
+        field_size=tuple(args.field),
+        duration=args.duration,
+        n_connections=args.sources,
+        rate=args.rate,
+        packet_size=args.packet_size,
+        max_speed=args.speed,
+        pause_time=args.pause,
+        mobility=args.mobility,
+        mac=args.mac,
+        use_rtscts=not args.no_rtscts,
+        traffic_start_window=(0.0, min(30.0, args.duration / 5.0)),
+        seed=args.seed,
+    )
+
+
+def _summary_pairs(s) -> dict:
+    return {
+        "packets sent": s.data_sent,
+        "packets delivered": s.data_received,
+        "packet delivery ratio": round(s.pdr, 4),
+        "avg end-to-end delay (ms)": round(s.avg_delay * 1000, 3),
+        "95th pct delay (ms)": round(s.p95_delay * 1000, 3),
+        "routing overhead (pkts)": s.routing_overhead_packets,
+        "normalized routing load": round(s.normalized_routing_load, 4),
+        "normalized MAC load": round(s.normalized_mac_load, 3),
+        "throughput (kb/s)": round(s.throughput_bps / 1000, 2),
+        "avg path length (links)": round(s.avg_hops + 1, 2),
+        "drops: no route / buffer / ifq / retry": (
+            f"{s.drops_no_route} / {s.drops_buffer} / "
+            f"{s.drops_ifq} / {s.drops_retry}"
+        ),
+    }
+
+
+def cmd_run(args) -> int:
+    cfg = _config_from(args, args.protocol)
+    summary = run_scenario(cfg)
+    print(render_kv_table(f"{args.protocol.upper()} results", _summary_pairs(summary)))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows: dict = {}
+    for proto in args.protocols:
+        cfg = _config_from(args, proto)
+        s = run_scenario(cfg)
+        for key, value in _summary_pairs(s).items():
+            rows.setdefault(key, []).append(value)
+    print(
+        render_series_table(
+            "Protocol comparison", "metric \\ protocol", args.protocols, rows
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    base = _config_from(args, args.protocols[0])
+    values = [float(v) if "." in v or args.param != "n_nodes" else int(v)
+              for v in args.values]
+    if args.param in ("n_nodes", "n_connections"):
+        values = [int(v) for v in values]
+    result = run_sweep(
+        base,
+        args.param,
+        values,
+        args.protocols,
+        replications=args.replications,
+        processes=args.processes,
+    )
+    means = {p: result.series(p, args.metric) for p in args.protocols}
+    cis = {
+        p: [result.estimate(p, x, args.metric).half_width for x in values]
+        for p in args.protocols
+    }
+    print(
+        render_series_table(
+            f"{args.metric} vs {args.param}", args.param, values, means, ci=cis
+        )
+    )
+    if args.csv:
+        sweep_to_csv(result, args.csv)
+        print(f"[wrote {args.csv}]")
+    return 0
+
+
+def cmd_protocols(_args) -> int:
+    info = {
+        "dsdv": "proactive distance vector (Perkins & Bhagwat)",
+        "dsr": "reactive source routing with caching (Johnson & Maltz)",
+        "aodv": "reactive distance vector, RFC 3561 (Perkins et al.)",
+        "paodv": "AODV + signal-strength preemptive maintenance",
+        "cbrp": "cluster-based routing with pruned floods",
+        "olsr": "proactive link state with MPRs, RFC 3626 (extension)",
+        "flooding": "blind flooding baseline",
+        "oracle": "global-knowledge shortest path baseline",
+    }
+    print(render_kv_table("Available protocols", info))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="manetsim: MANET routing-protocol comparison harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one simulation")
+    p_run.add_argument("--protocol", default="aodv", choices=PROTOCOLS)
+    _add_scenario_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="same scenario, several protocols")
+    p_cmp.add_argument(
+        "--protocols", nargs="+", default=["dsdv", "dsr", "aodv"],
+        choices=PROTOCOLS,
+    )
+    _add_scenario_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_swp = sub.add_parser("sweep", help="sweep one parameter")
+    p_swp.add_argument("--param", required=True,
+                       help="ScenarioConfig field, e.g. pause_time")
+    p_swp.add_argument("--values", nargs="+", required=True)
+    p_swp.add_argument(
+        "--protocols", nargs="+", default=["aodv"], choices=PROTOCOLS
+    )
+    p_swp.add_argument("--replications", type=int, default=1)
+    p_swp.add_argument("--processes", type=int, default=None)
+    p_swp.add_argument("--metric", default="pdr",
+                       choices=["pdr", "avg_delay", "nrl", "mac_load",
+                                "overhead_pkts", "throughput_bps", "avg_hops"])
+    p_swp.add_argument("--csv", metavar="PATH",
+                       help="also write every replication's metrics to CSV")
+    _add_scenario_args(p_swp)
+    p_swp.set_defaults(func=cmd_sweep)
+
+    p_ls = sub.add_parser("protocols", help="list available protocols")
+    p_ls.set_defaults(func=cmd_protocols)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Simulation kernel: events, clock, RNG streams, tracing, units."""
+
+from .errors import (
+    ConfigurationError,
+    PacketError,
+    ProtocolError,
+    SchedulingError,
+    SimulationError,
+)
+from .events import Event, EventQueue
+from .rng import RngStreams
+from .simulator import Simulator
+from .trace import NULL_TRACER, Tracer
+from . import units
+
+__all__ = [
+    "ConfigurationError",
+    "PacketError",
+    "ProtocolError",
+    "SchedulingError",
+    "SimulationError",
+    "Event",
+    "EventQueue",
+    "RngStreams",
+    "Simulator",
+    "Tracer",
+    "NULL_TRACER",
+    "units",
+]

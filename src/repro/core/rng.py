@@ -1,0 +1,91 @@
+"""Deterministic named random-number streams.
+
+Every source of randomness in a simulation (mobility, traffic jitter, MAC
+backoff, protocol jitter, ...) draws from its own named stream derived
+from a single scenario seed. Two properties follow:
+
+* **Reproducibility** — the same scenario seed yields bit-identical runs,
+  regardless of module import order or event interleaving, because a
+  stream's state depends only on ``(root_seed, name)``.
+* **Independence** — streams are derived through
+  :class:`numpy.random.SeedSequence` with the name hashed into the
+  entropy, so adding a new consumer never perturbs existing streams
+  (unlike sharing one generator, where an extra draw shifts everything).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RngStreams"]
+
+
+def _name_entropy(name: str) -> list[int]:
+    """Stable 128-bit entropy words for *name* (independent of PYTHONHASHSEED)."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+
+
+class RngStreams:
+    """Factory of independent, deterministic :class:`numpy.random.Generator`\\ s.
+
+    Parameters
+    ----------
+    seed:
+        Root scenario seed. Replications of the same scenario should use
+        distinct root seeds (see :meth:`replicate`).
+
+    Examples
+    --------
+    >>> streams = RngStreams(42)
+    >>> mobility_rng = streams.stream("mobility")
+    >>> mac_rng = streams.stream("mac.backoff.node3")
+    """
+
+    def __init__(self, seed: int):
+        if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = int(seed)
+        self._cache: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for *name*, creating it on first use.
+
+        Repeated calls with the same name return the same generator
+        object (so sequential draws continue the stream).
+        """
+        gen = self._cache.get(name)
+        if gen is None:
+            ss = np.random.SeedSequence([self.seed, *_name_entropy(name)])
+            gen = np.random.Generator(np.random.Philox(ss))
+            self._cache[name] = gen
+        return gen
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a *new* generator for *name* starting from its initial state.
+
+        Unlike :meth:`stream` this does not cache, so two ``fresh`` calls
+        with the same name yield identical sequences — useful in tests.
+        """
+        ss = np.random.SeedSequence([self.seed, *_name_entropy(name)])
+        return np.random.Generator(np.random.Philox(ss))
+
+    def replicate(self, replication: int) -> "RngStreams":
+        """Derive the stream factory for replication number *replication*.
+
+        Replications are decorrelated by folding the replication index
+        into the root seed through a SeedSequence, which is designed for
+        exactly this kind of hierarchical spawning.
+        """
+        if replication < 0:
+            raise ValueError("replication index must be >= 0")
+        child_seed = int(
+            np.random.SeedSequence([self.seed, 0x5EED, replication]).generate_state(1)[0]
+        )
+        return RngStreams(child_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngStreams(seed={self.seed}, streams={sorted(self._cache)})"

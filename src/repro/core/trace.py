@@ -1,0 +1,80 @@
+"""Lightweight, category-gated event tracing.
+
+ns-2 writes a trace line for every layer action; that is far too slow for
+a Python kernel, so tracing here is opt-in per category. When a category
+is disabled, the cost of a trace call is one dict lookup and a branch.
+
+Records are plain tuples ``(time, category, *fields)`` appended to an
+in-memory list (or streamed to a sink callable), which tests and the
+analysis layer can filter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+__all__ = ["Tracer", "NULL_TRACER"]
+
+TraceRecord = Tuple[Any, ...]
+
+
+class Tracer:
+    """Collects trace records for an enabled set of categories.
+
+    Parameters
+    ----------
+    categories:
+        Iterable of category names to record (e.g. ``{"mac", "route"}``),
+        or ``"all"`` to record everything.
+    sink:
+        Optional callable invoked with each record instead of storing it.
+    """
+
+    __slots__ = ("_all", "_enabled", "records", "_sink")
+
+    def __init__(
+        self,
+        categories: Iterable[str] | str = (),
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+    ) -> None:
+        self._all = categories == "all"
+        self._enabled = frozenset(categories) if not self._all else frozenset()
+        self.records: List[TraceRecord] = []
+        self._sink = sink
+
+    def enabled(self, category: str) -> bool:
+        """Whether records of *category* are being kept."""
+        return self._all or category in self._enabled
+
+    def log(self, time: float, category: str, *fields: Any) -> None:
+        """Record ``(time, category, *fields)`` if *category* is enabled."""
+        if self._all or category in self._enabled:
+            rec = (time, category, *fields)
+            if self._sink is not None:
+                self._sink(rec)
+            else:
+                self.records.append(rec)
+
+    def filter(self, category: str) -> List[TraceRecord]:
+        """All stored records of *category*, in time order."""
+        return [r for r in self.records if r[1] == category]
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self.records.clear()
+
+
+class _NullTracer(Tracer):
+    """A tracer with every category disabled; logging is a no-op."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(())
+
+    def log(self, time: float, category: str, *fields: Any) -> None:  # noqa: D102
+        return
+
+
+#: Shared always-off tracer; use as a default to avoid None checks.
+NULL_TRACER = _NullTracer()

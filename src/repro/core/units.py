@@ -1,0 +1,73 @@
+"""Physical constants and unit-conversion helpers.
+
+The simulator works internally in SI units: seconds, meters, watts, bits.
+These helpers keep dB/dBm arithmetic and bit-time computations in one
+place so layer code never hand-rolls conversions.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "dbm_to_watt",
+    "watt_to_dbm",
+    "db_to_ratio",
+    "ratio_to_db",
+    "bits_to_seconds",
+    "bytes_to_seconds",
+    "MICRO",
+    "MILLI",
+]
+
+#: Speed of light in vacuum (m/s); used for propagation delay and wavelength.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: One microsecond in seconds.
+MICRO = 1e-6
+
+#: One millisecond in seconds.
+MILLI = 1e-3
+
+
+def dbm_to_watt(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 10.0 ** ((dbm - 30.0) / 10.0)
+
+
+def watt_to_dbm(watt: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises
+    ------
+    ValueError
+        If *watt* is not strictly positive (dBm is undefined at 0 W).
+    """
+    if watt <= 0.0:
+        raise ValueError(f"power must be > 0 W to express in dBm, got {watt!r}")
+    return 10.0 * math.log10(watt) + 30.0
+
+
+def db_to_ratio(db: float) -> float:
+    """Convert a gain/loss in dB to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def ratio_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be > 0 to express in dB, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def bits_to_seconds(bits: int, rate_bps: float) -> float:
+    """Transmission time of *bits* at *rate_bps* bits per second."""
+    if rate_bps <= 0.0:
+        raise ValueError(f"rate must be > 0 bps, got {rate_bps!r}")
+    return bits / rate_bps
+
+
+def bytes_to_seconds(nbytes: int, rate_bps: float) -> float:
+    """Transmission time of *nbytes* bytes at *rate_bps* bits per second."""
+    return bits_to_seconds(nbytes * 8, rate_bps)

@@ -1,0 +1,110 @@
+"""Gauss–Markov mobility model.
+
+Velocity evolves as a first-order autoregressive process: at each update
+interval,
+
+    v[k]     = a·v[k-1]     + (1-a)·v_mean     + sqrt(1-a²)·σ_v·N(0,1)
+    θ[k]     = a·θ[k-1]     + (1-a)·θ_mean     + sqrt(1-a²)·σ_θ·N(0,1)
+
+where ``a`` (alpha) tunes memory: 0 is memoryless (random walk-ish),
+1 is linear motion. Near a field edge the mean direction is steered back
+toward the field center, the standard edge treatment for this model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..core.errors import ConfigurationError
+from .base import Field, Leg, LegBasedModel
+
+__all__ = ["GaussMarkov"]
+
+
+class GaussMarkov(LegBasedModel):
+    """Gauss–Markov trajectory for one node.
+
+    Parameters
+    ----------
+    alpha:
+        Memory parameter in [0, 1].
+    mean_speed, speed_sigma:
+        Long-run mean and innovation scale of the speed process (m/s).
+    update_interval:
+        Seconds between velocity updates (each update is one leg).
+    margin:
+        Distance from an edge at which mean direction starts steering
+        back toward the center.
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        rng,
+        mean_speed: float,
+        alpha: float = 0.75,
+        speed_sigma: float | None = None,
+        update_interval: float = 5.0,
+        margin: float | None = None,
+        start: Tuple[float, float] | None = None,
+    ):
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        if mean_speed <= 0:
+            raise ConfigurationError(f"mean_speed must be > 0, got {mean_speed}")
+        if update_interval <= 0:
+            raise ConfigurationError("update_interval must be > 0")
+        self.field = field
+        self.rng = rng
+        self.alpha = alpha
+        self.mean_speed = mean_speed
+        self.speed_sigma = speed_sigma if speed_sigma is not None else mean_speed / 4.0
+        self.theta_sigma = math.pi / 8.0
+        self.update_interval = update_interval
+        self.margin = margin if margin is not None else min(field.width, field.height) * 0.15
+        self._speed = mean_speed
+        self._theta = rng.uniform(0.0, 2.0 * math.pi)
+        x0, y0 = start if start is not None else field.random_point(rng)
+        super().__init__(x0, y0)
+
+    def _mean_theta(self, x: float, y: float) -> float:
+        """Long-run direction: current heading, or steered toward center
+        when inside the edge margin."""
+        m = self.margin
+        steer_x = 0.0
+        steer_y = 0.0
+        if x < m:
+            steer_x = 1.0
+        elif x > self.field.width - m:
+            steer_x = -1.0
+        if y < m:
+            steer_y = 1.0
+        elif y > self.field.height - m:
+            steer_y = -1.0
+        if steer_x or steer_y:
+            return math.atan2(steer_y, steer_x)
+        return self._theta
+
+    def _next_leg(self, prev: Leg) -> Leg:
+        a = self.alpha
+        noise = math.sqrt(max(0.0, 1.0 - a * a))
+        self._speed = (
+            a * self._speed
+            + (1 - a) * self.mean_speed
+            + noise * self.speed_sigma * self.rng.standard_normal()
+        )
+        self._speed = max(0.0, self._speed)
+        mean_theta = self._mean_theta(prev.x1, prev.y1)
+        self._theta = (
+            a * self._theta
+            + (1 - a) * mean_theta
+            + noise * self.theta_sigma * self.rng.standard_normal()
+        )
+        dt = self.update_interval
+        x1 = prev.x1 + self._speed * math.cos(self._theta) * dt
+        y1 = prev.y1 + self._speed * math.sin(self._theta) * dt
+        # Clamp to the field; heading relaxes back via the steering mean.
+        x1 = min(max(x1, 0.0), self.field.width)
+        y1 = min(max(y1, 0.0), self.field.height)
+        return Leg(prev.t1, prev.t1 + dt, prev.x1, prev.y1, x1, y1)

@@ -1,0 +1,69 @@
+"""Vectorized access to all node positions at a given time.
+
+The channel asks "where is everyone?" once per transmission. The manager
+evaluates every node's analytic trajectory into a single ``(N, 2)``
+NumPy array and memoizes it by timestamp, because the MAC layer issues
+many queries at the exact same instant (frame start, per-receiver power
+computations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .base import MobilityModel
+
+__all__ = ["MobilityManager"]
+
+
+class MobilityManager:
+    """Holds one :class:`MobilityModel` per node, indexed by node id."""
+
+    def __init__(self, models: Sequence[MobilityModel]):
+        if not models:
+            raise ConfigurationError("MobilityManager needs at least one model")
+        self.models: List[MobilityModel] = list(models)
+        self._cache_t = -1.0
+        self._cache = np.zeros((len(self.models), 2), dtype=np.float64)
+        self._cache_valid = False
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    def positions(self, t: float) -> np.ndarray:
+        """``(N, 2)`` array of node positions at time *t*.
+
+        The returned array is the internal cache — callers must not
+        mutate it.
+        """
+        if self._cache_valid and t == self._cache_t:
+            return self._cache
+        buf = self._cache
+        for i, m in enumerate(self.models):
+            buf[i, 0], buf[i, 1] = m.position(t)
+        self._cache_t = t
+        self._cache_valid = True
+        return buf
+
+    def position(self, node_id: int, t: float):
+        """Position of one node at time *t* as a ``(x, y)`` tuple."""
+        return self.models[node_id].position(t)
+
+    def distance(self, a: int, b: int, t: float) -> float:
+        """Euclidean distance between nodes *a* and *b* at time *t*."""
+        xa, ya = self.models[a].position(t)
+        xb, yb = self.models[b].position(t)
+        return float(np.hypot(xb - xa, yb - ya))
+
+    def distances_from(self, node_id: int, t: float) -> np.ndarray:
+        """Vector of distances from *node_id* to every node at time *t*."""
+        pos = self.positions(t)
+        delta = pos - pos[node_id]
+        return np.hypot(delta[:, 0], delta[:, 1])
+
+    def invalidate(self) -> None:
+        """Drop the memoized snapshot (tests that reuse timestamps)."""
+        self._cache_valid = False

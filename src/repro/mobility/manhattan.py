@@ -1,0 +1,102 @@
+"""Manhattan-grid mobility model.
+
+Nodes move along the streets of a regular grid overlaid on the field:
+``blocks_x`` × ``blocks_y`` blocks produce ``blocks_x + 1`` vertical and
+``blocks_y + 1`` horizontal streets. At each intersection a node
+continues straight with probability 0.5 or turns left/right with
+probability 0.25 each (the standard Manhattan turn law). Speed is
+redrawn per street segment.
+"""
+
+from __future__ import annotations
+
+import math
+from ..core.errors import ConfigurationError
+from .base import Field, Leg, LegBasedModel
+
+__all__ = ["ManhattanGrid"]
+
+# Unit direction vectors: E, N, W, S.
+_DIRS = ((1, 0), (0, 1), (-1, 0), (0, -1))
+
+
+class ManhattanGrid(LegBasedModel):
+    """Manhattan-grid trajectory for one node.
+
+    Parameters
+    ----------
+    blocks_x, blocks_y:
+        Number of city blocks along each axis (>= 1).
+    min_speed, max_speed:
+        Per-segment speed bounds (m/s).
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        rng,
+        max_speed: float,
+        min_speed: float = 0.0,
+        blocks_x: int = 5,
+        blocks_y: int = 5,
+    ):
+        if blocks_x < 1 or blocks_y < 1:
+            raise ConfigurationError("need at least a 1x1 block grid")
+        if max_speed <= 0:
+            raise ConfigurationError(f"max_speed must be > 0, got {max_speed}")
+        if min_speed < 0 or min_speed > max_speed:
+            raise ConfigurationError("need 0 <= min_speed <= max_speed")
+        self.field = field
+        self.rng = rng
+        self.min_speed = max(min_speed, 0.1)
+        self.max_speed = max(max_speed, self.min_speed)
+        self.block_w = field.width / blocks_x
+        self.block_h = field.height / blocks_y
+        self.nx = blocks_x
+        self.ny = blocks_y
+        # Current intersection (grid coordinates) and heading index.
+        self._ix = int(rng.integers(0, blocks_x + 1))
+        self._iy = int(rng.integers(0, blocks_y + 1))
+        self._dir = int(rng.integers(0, 4))
+        super().__init__(self._ix * self.block_w, self._iy * self.block_h)
+
+    def _valid_dirs(self) -> list[int]:
+        out = []
+        for d, (dx, dy) in enumerate(_DIRS):
+            nx, ny = self._ix + dx, self._iy + dy
+            if 0 <= nx <= self.nx and 0 <= ny <= self.ny:
+                out.append(d)
+        return out
+
+    def _choose_dir(self) -> int:
+        valid = self._valid_dirs()
+        straight = self._dir
+        left = (self._dir + 1) % 4
+        right = (self._dir - 1) % 4
+        u = self.rng.uniform()
+        # Prefer straight (0.5), else turn (0.25 each); fall back to any
+        # valid street when the preferred one leaves the grid.
+        order = (
+            [straight, left, right] if u < 0.5 else
+            [left, right, straight] if u < 0.75 else
+            [right, left, straight]
+        )
+        for d in order:
+            if d in valid:
+                return d
+        # Dead end: reverse.
+        back = (self._dir + 2) % 4
+        if back in valid:
+            return back
+        raise ConfigurationError("Manhattan grid node has no valid direction")
+
+    def _next_leg(self, prev: Leg) -> Leg:
+        self._dir = self._choose_dir()
+        dx, dy = _DIRS[self._dir]
+        self._ix += dx
+        self._iy += dy
+        x1 = self._ix * self.block_w
+        y1 = self._iy * self.block_h
+        speed = self.rng.uniform(self.min_speed, self.max_speed)
+        dist = math.hypot(x1 - prev.x1, y1 - prev.y1)
+        return Leg(prev.t1, prev.t1 + dist / speed, prev.x1, prev.y1, x1, y1)

@@ -1,0 +1,175 @@
+"""Random-walk and random-direction mobility models.
+
+Both are boundary-respecting alternatives to random waypoint, used in
+the sensitivity/ablation studies. They share the reflection helper:
+a move that would exit the field is folded back inside (specular
+reflection), which preserves the uniform spatial distribution of the
+random walk.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..core.errors import ConfigurationError
+from .base import Field, Leg, LegBasedModel
+
+__all__ = ["RandomWalk", "RandomDirection", "reflect"]
+
+
+def reflect(value: float, limit: float) -> float:
+    """Fold *value* into ``[0, limit]`` by specular reflection.
+
+    Works for any overshoot distance (multiple bounces).
+    """
+    if limit <= 0:
+        raise ConfigurationError(f"reflection limit must be > 0, got {limit}")
+    period = 2.0 * limit
+    v = math.fmod(value, period)
+    if v < 0:
+        v += period
+    return v if v <= limit else period - v
+
+
+class RandomWalk(LegBasedModel):
+    """Random walk: fixed-duration straight moves in random directions.
+
+    Every ``step_time`` seconds the node draws a fresh uniform direction
+    and a uniform speed in ``[min_speed, max_speed]``; motion reflects
+    off field boundaries.
+
+    Note: reflection of a single step is modelled by clipping the step at
+    the first boundary crossing and reflecting the remainder as the next
+    leg, so trajectories stay piecewise linear and inside the field.
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        rng,
+        max_speed: float,
+        min_speed: float = 0.0,
+        step_time: float = 10.0,
+        start: Tuple[float, float] | None = None,
+    ):
+        if max_speed <= 0:
+            raise ConfigurationError(f"max_speed must be > 0, got {max_speed}")
+        if min_speed < 0 or min_speed > max_speed:
+            raise ConfigurationError("need 0 <= min_speed <= max_speed")
+        if step_time <= 0:
+            raise ConfigurationError(f"step_time must be > 0, got {step_time}")
+        self.field = field
+        self.rng = rng
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.step_time = step_time
+        # Remaining (vx, vy, time) of a step interrupted by a boundary.
+        self._carry: Tuple[float, float, float] | None = None
+        x0, y0 = start if start is not None else field.random_point(rng)
+        super().__init__(x0, y0)
+
+    def _leg_from_velocity(self, prev: Leg, vx: float, vy: float, dt: float) -> Leg:
+        """Build the leg for velocity ``(vx, vy)`` over *dt*, splitting at
+        the first boundary crossing and carrying the reflected remainder."""
+        x0, y0 = prev.x1, prev.y1
+        t_hit = dt
+        for pos, vel, lim in ((x0, vx, self.field.width), (y0, vy, self.field.height)):
+            if vel > 0:
+                t = (lim - pos) / vel
+            elif vel < 0:
+                t = -pos / vel
+            else:
+                continue
+            if 0 < t < t_hit:
+                t_hit = t
+        if t_hit < dt:
+            # Reflect the velocity component(s) that hit, carry the rest.
+            x1 = x0 + vx * t_hit
+            y1 = y0 + vy * t_hit
+            nvx = -vx if (x1 <= 1e-12 or x1 >= self.field.width - 1e-12) else vx
+            nvy = -vy if (y1 <= 1e-12 or y1 >= self.field.height - 1e-12) else vy
+            self._carry = (nvx, nvy, dt - t_hit)
+            return Leg(prev.t1, prev.t1 + t_hit, x0, y0, x1, y1)
+        self._carry = None
+        return Leg(prev.t1, prev.t1 + dt, x0, y0, x0 + vx * dt, y0 + vy * dt)
+
+    def _next_leg(self, prev: Leg) -> Leg:
+        if self._carry is not None:
+            vx, vy, dt = self._carry
+            return self._leg_from_velocity(prev, vx, vy, dt)
+        speed = self.rng.uniform(self.min_speed, self.max_speed)
+        theta = self.rng.uniform(0.0, 2.0 * math.pi)
+        return self._leg_from_velocity(
+            prev, speed * math.cos(theta), speed * math.sin(theta), self.step_time
+        )
+
+
+class RandomDirection(LegBasedModel):
+    """Random direction: travel to the field boundary, pause, repeat.
+
+    Unlike random waypoint, node density stays near-uniform (waypoint
+    concentrates nodes in the field center), which changes connectivity —
+    this is why it appears in the mobility-sensitivity ablation.
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        rng,
+        max_speed: float,
+        min_speed: float = 0.0,
+        pause_time: float = 0.0,
+        start: Tuple[float, float] | None = None,
+    ):
+        if max_speed <= 0:
+            raise ConfigurationError(f"max_speed must be > 0, got {max_speed}")
+        if min_speed < 0 or min_speed > max_speed:
+            raise ConfigurationError("need 0 <= min_speed <= max_speed")
+        if pause_time < 0:
+            raise ConfigurationError(f"pause_time must be >= 0, got {pause_time}")
+        self.field = field
+        self.rng = rng
+        self.min_speed = max(min_speed, 0.1)
+        self.max_speed = max(max_speed, self.min_speed)
+        self.pause_time = pause_time
+        self._pause_next = False
+        x0, y0 = start if start is not None else field.random_point(rng)
+        super().__init__(x0, y0)
+
+    def _boundary_hit(self, x: float, y: float, theta: float) -> float:
+        """Distance from ``(x, y)`` to the field boundary along *theta*."""
+        vx, vy = math.cos(theta), math.sin(theta)
+        best = math.inf
+        for pos, vel, lim in ((x, vx, self.field.width), (y, vy, self.field.height)):
+            if vel > 1e-12:
+                best = min(best, (lim - pos) / vel)
+            elif vel < -1e-12:
+                best = min(best, -pos / vel)
+        return max(best, 0.0)
+
+    def _next_leg(self, prev: Leg) -> Leg:
+        if self._pause_next and self.pause_time > 0:
+            self._pause_next = False
+            return Leg(
+                prev.t1, prev.t1 + self.pause_time, prev.x1, prev.y1, prev.x1, prev.y1
+            )
+        theta = self.rng.uniform(0.0, 2.0 * math.pi)
+        dist = self._boundary_hit(prev.x1, prev.y1, theta)
+        if dist < 1e-9:
+            # Already on the boundary heading out; try again next call.
+            theta = math.atan2(
+                self.field.height / 2 - prev.y1, self.field.width / 2 - prev.x1
+            )
+            dist = self._boundary_hit(prev.x1, prev.y1, theta)
+        speed = self.rng.uniform(self.min_speed, self.max_speed)
+        dur = dist / speed
+        self._pause_next = True
+        return Leg(
+            prev.t1,
+            prev.t1 + dur,
+            prev.x1,
+            prev.y1,
+            prev.x1 + dist * math.cos(theta),
+            prev.y1 + dist * math.sin(theta),
+        )

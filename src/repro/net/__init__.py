@@ -1,0 +1,16 @@
+"""Network layer: packets, node wiring, send buffer."""
+
+from .node import Node
+from .packet import BROADCAST, Packet, PacketKind
+from .sendbuffer import SendBuffer
+from .stack import Network, build_network
+
+__all__ = [
+    "BROADCAST",
+    "Packet",
+    "PacketKind",
+    "Node",
+    "SendBuffer",
+    "Network",
+    "build_network",
+]

@@ -1,0 +1,91 @@
+"""A network node: radio + MAC + routing agent + local delivery.
+
+The node is deliberately thin — it owns identity and local packet
+delivery; behaviour lives in the layers. Traffic agents call
+:meth:`Node.send`; packets that arrive for this node are fanned out to
+registered receive callbacks (traffic sinks, metric collectors).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from ..core.simulator import Simulator
+from .packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # type-only: avoids a package-level import cycle
+    from ..mac.base import MacLayer
+    from ..phy.radio import Radio
+
+__all__ = ["Node"]
+
+ReceiveCallback = Callable[[Packet, int], None]
+
+
+class Node:
+    """One mobile host.
+
+    Attributes
+    ----------
+    node_id:
+        Address; equals the index in mobility/channel tables.
+    radio, mac, routing:
+        The layer instances; ``routing`` is any object exposing
+        ``originate(packet)`` plus the MAC's upper-layer interface.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        radio: "Radio",
+        mac: "MacLayer",
+        routing: Any,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.radio = radio
+        self.mac = mac
+        self.routing = routing
+        self._receivers: List[ReceiveCallback] = []
+        #: Data packets that originated here (traffic layer count).
+        self.data_originated = 0
+        #: Data packets delivered to this node as final destination.
+        self.data_delivered = 0
+
+    def register_receiver(self, callback: ReceiveCallback) -> None:
+        """Add a callback for data packets addressed to this node."""
+        self._receivers.append(callback)
+
+    def send(
+        self,
+        dst: int,
+        size: int,
+        payload: Any = None,
+        proto: str = "cbr",
+        ttl: Optional[int] = None,
+    ) -> Packet:
+        """Originate a data packet toward *dst* via the routing agent."""
+        kwargs = {} if ttl is None else {"ttl": ttl}
+        packet = Packet(
+            PacketKind.DATA,
+            proto,
+            self.node_id,
+            dst,
+            size,
+            created=self.sim.now,
+            payload=payload,
+            **kwargs,
+        )
+        self.data_originated += 1
+        self.routing.originate(packet)
+        return packet
+
+    def deliver_local(self, packet: Packet, prev_hop: int) -> None:
+        """Routing calls this when a data packet reaches its destination."""
+        self.data_delivered += 1
+        for cb in self._receivers:
+            cb(packet, prev_hop)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id} routing={type(self.routing).__name__}>"

@@ -1,0 +1,200 @@
+"""Per-node radio interface: transmit/receive state machine.
+
+The radio implements the ns-2 wireless PHY reception rules:
+
+* **Half duplex** — anything arriving while this radio transmits is lost.
+* **Carrier sense** — arrivals with power ≥ the carrier-sense threshold
+  mark the medium busy even when too weak to decode.
+* **Capture** — while decoding a frame, a new arrival more than
+  ``capture_ratio`` weaker is ignored (the decode survives); otherwise
+  both frames are corrupted (collision). No mid-reception capture
+  switch, matching ns-2.
+
+The MAC above must provide three callbacks:
+``on_frame_received(frame, rx_power)``, ``on_transmit_done(frame)``, and
+``medium_changed()`` (invoked whenever the busy/idle state may have
+flipped, so the MAC can re-evaluate deferral/backoff).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.errors import SimulationError
+from ..core.simulator import Simulator
+from ..mac.frames import Frame
+from .propagation import RadioParams
+
+__all__ = ["Radio", "RadioStats"]
+
+
+class RadioStats:
+    """Per-radio PHY counters."""
+
+    __slots__ = (
+        "frames_sent",
+        "frames_received",
+        "collisions",
+        "capture_ignored",
+        "halfduplex_drops",
+        "airtime_tx",
+        "airtime_rx",
+    )
+
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.collisions = 0
+        self.capture_ignored = 0
+        self.halfduplex_drops = 0
+        self.airtime_tx = 0.0
+        #: Time spent actively decoding arrivals (successful or not).
+        self.airtime_rx = 0.0
+
+
+class _Arrival:
+    """One in-flight frame as seen by this receiver."""
+
+    __slots__ = ("frame", "power", "end", "corrupted")
+
+    def __init__(self, frame: Frame, power: float, end: float):
+        self.frame = frame
+        self.power = power
+        self.end = end
+        self.corrupted = False
+
+
+class Radio:
+    """Radio NIC of one node.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    node_id:
+        This node's address (index into the channel's radio table).
+    params:
+        Shared :class:`RadioParams` (bitrate, power, thresholds).
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, params: RadioParams):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.channel = None  # set by Channel.attach
+        self.mac = None  # set by the MAC layer
+        self.stats = RadioStats()
+        self._arrivals: List[_Arrival] = []
+        self._rx: Optional[_Arrival] = None
+        self._tx_end: Optional[float] = None
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def is_transmitting(self) -> bool:
+        return self._tx_end is not None
+
+    def carrier_busy(self) -> bool:
+        """Physical carrier sense: transmitting or detectable energy."""
+        return self._tx_end is not None or bool(self._arrivals)
+
+    def busy_until(self) -> float:
+        """Latest known end of the current busy period (now if idle)."""
+        t = self.sim.now
+        if self._tx_end is not None:
+            t = max(t, self._tx_end)
+        for a in self._arrivals:
+            if a.end > t:
+                t = a.end
+        return t
+
+    # -------------------------------------------------------------- sending
+
+    def transmit(self, frame: Frame) -> float:
+        """Put *frame* on the air; returns its airtime in seconds."""
+        if self.channel is None:
+            raise SimulationError(f"radio {self.node_id} not attached to a channel")
+        if self._tx_end is not None:
+            raise SimulationError(
+                f"radio {self.node_id} asked to transmit while transmitting"
+            )
+        # Transmitting stomps any reception in progress (half duplex).
+        if self._rx is not None:
+            self._rx.corrupted = True
+            self.stats.halfduplex_drops += 1
+            self._rx = None
+        duration = frame.airtime(self.params.bitrate)
+        self._tx_end = self.sim.now + duration
+        self.stats.frames_sent += 1
+        self.stats.airtime_tx += duration
+        self.channel.transmit(self, frame, duration)
+        self.sim.schedule(duration, self._transmit_done, frame)
+        return duration
+
+    def _transmit_done(self, frame: Frame) -> None:
+        self._tx_end = None
+        if self.mac is not None:
+            self.mac.on_transmit_done(frame)
+            self.mac.medium_changed()
+
+    # ------------------------------------------------------------ receiving
+
+    def begin_arrival(self, frame: Frame, power: float, duration: float):
+        """Channel callback: *frame* starts arriving with *power* watts.
+
+        Returns the arrival entry (the channel ends it via
+        :meth:`end_arrival` when the frame's airtime elapses), or
+        ``None`` for undetectable signals.
+        """
+        if power < self.params.cs_threshold:
+            return None  # undetectable: below the noise visibility floor
+        entry = _Arrival(frame, power, self.sim.now + duration)
+
+        if self._tx_end is not None:
+            # Arrivals during our own transmission are unreceivable.
+            entry.corrupted = True
+            self.stats.halfduplex_drops += 1
+        elif self._rx is not None:
+            # Already decoding: capture or mutual corruption.
+            if self._rx.power >= self.params.capture_ratio * power:
+                self.stats.capture_ignored += 1
+            else:
+                self._rx.corrupted = True
+                entry.corrupted = True
+                self.stats.collisions += 1
+                tracer = self.sim.tracer
+                if tracer.enabled("phy"):
+                    tracer.log(
+                        self.sim.now, "phy", "collision", self.node_id,
+                        self._rx.frame.src, frame.src,
+                    )
+        elif power >= self.params.rx_threshold:
+            # Candidate decode; pre-existing interference may already
+            # bury it.
+            strongest = 0.0
+            for a in self._arrivals:
+                if a.power > strongest:
+                    strongest = a.power
+            if power >= self.params.capture_ratio * strongest:
+                self._rx = entry
+                self.stats.airtime_rx += duration
+            else:
+                entry.corrupted = True
+                self.stats.collisions += 1
+        # else: detectable but too weak to decode -> busy only.
+
+        self._arrivals.append(entry)
+        if self.mac is not None:
+            self.mac.medium_changed()
+        return entry
+
+    def end_arrival(self, entry: _Arrival) -> None:
+        self._arrivals.remove(entry)
+        if entry is self._rx:
+            self._rx = None
+            if not entry.corrupted:
+                self.stats.frames_received += 1
+                if self.mac is not None:
+                    self.mac.on_frame_received(entry.frame, entry.power)
+        if self.mac is not None:
+            self.mac.medium_changed()

@@ -1,0 +1,186 @@
+"""Routing protocol interface.
+
+A routing agent is the network layer of its node (ns-2 style): it
+originates packets for the traffic layer, makes every forwarding
+decision, emits protocol control traffic, and reacts to link-layer
+failure feedback. It implements the MAC's upper-layer interface.
+
+Control-packet accounting happens here: **every transmission of a
+routing control packet — original or forwarded — increments
+``stats.control_packets``**, which is exactly the "routing overhead"
+the paper reports (Broch et al. convention).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.errors import PacketError
+from ..core.simulator import Simulator
+from ..mac.base import MacLayer
+from ..net.packet import BROADCAST, Packet, PacketKind
+
+__all__ = ["RoutingProtocol", "RoutingStats"]
+
+
+class RoutingStats:
+    """Per-node routing-layer counters."""
+
+    __slots__ = (
+        "control_packets",
+        "control_bytes",
+        "data_forwarded",
+        "drops_no_route",
+        "drops_ttl",
+        "drops_buffer",
+        "discoveries",
+    )
+
+    def __init__(self) -> None:
+        #: Control transmissions (originated + forwarded).
+        self.control_packets = 0
+        self.control_bytes = 0
+        #: Data packets forwarded on behalf of others.
+        self.data_forwarded = 0
+        self.drops_no_route = 0
+        self.drops_ttl = 0
+        #: Data packets dropped from the send buffer (overflow/expiry/give-up).
+        self.drops_buffer = 0
+        #: Route discoveries initiated (reactive protocols).
+        self.discoveries = 0
+
+
+class RoutingProtocol:
+    """Base class for all routing agents.
+
+    Parameters
+    ----------
+    sim, node_id, mac, rng:
+        Kernel, own address, MAC below, and a private RNG stream
+        (used for control-traffic jitter).
+    """
+
+    #: Protocol tag carried in control packets' ``proto`` field.
+    NAME = "base"
+
+    #: Default jitter bound (s) applied to broadcast control packets so
+    #: synchronized floods from neighbors do not collide systematically.
+    BROADCAST_JITTER = 2e-3
+
+    def __init__(self, sim: Simulator, node_id: int, mac: MacLayer, rng):
+        self.sim = sim
+        self.addr = node_id
+        self.mac = mac
+        self.rng = rng
+        self.stats = RoutingStats()
+        self.node = None  # set by the stack builder
+        mac.upper = self
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Begin periodic behaviour (timers). Default: nothing."""
+
+    # ------------------------------------------------------- traffic (down)
+
+    def originate(self, packet: Packet) -> None:
+        """Route a locally generated data packet."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------- MAC callbacks
+
+    def deliver(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        """Dispatch a received packet: control, local delivery, or forward."""
+        if packet.kind == PacketKind.CONTROL:
+            if packet.proto == self.NAME:
+                self.on_control(packet, prev_hop, rx_power)
+            return  # foreign protocol control: not ours to route
+        if packet.dst == self.addr or packet.is_broadcast:
+            self.on_data_arrived(packet, prev_hop, rx_power)
+            self.node.deliver_local(packet, prev_hop)
+        else:
+            self.on_data_to_forward(packet, prev_hop, rx_power)
+
+    def link_failed(self, packet: Packet, next_hop: int) -> None:
+        """MAC retry exhaustion. Default: drop silently."""
+
+    # ------------------------------------------------------ protocol hooks
+
+    def on_control(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        """Handle a control packet of this protocol."""
+        raise NotImplementedError
+
+    def on_data_to_forward(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        """Handle a data packet in transit (must forward or drop)."""
+        raise NotImplementedError
+
+    def on_data_arrived(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        """Hook before local delivery (PAODV uses the rx power)."""
+
+    # --------------------------------------------------------------- helpers
+
+    def make_control(
+        self,
+        payload: Any,
+        size: int,
+        dst: int = BROADCAST,
+        ttl: int = 1,
+    ) -> Packet:
+        """Build a control packet owned by this protocol."""
+        return Packet(
+            PacketKind.CONTROL,
+            self.NAME,
+            self.addr,
+            dst,
+            size,
+            created=self.sim.now,
+            ttl=ttl,
+            payload=payload,
+        )
+
+    def send_control(
+        self,
+        packet: Packet,
+        next_hop: int,
+        jitter: Optional[float] = None,
+    ) -> None:
+        """Hand a control packet to the MAC, counting overhead.
+
+        Broadcast control is jittered by default; unicast is immediate.
+        """
+        self.stats.control_packets += 1
+        self.stats.control_bytes += packet.size
+        tracer = self.sim.tracer
+        if tracer.enabled("route"):
+            tracer.log(
+                self.sim.now, "route", "ctl-tx", self.addr, self.NAME,
+                type(packet.payload).__name__, next_hop, packet.size,
+            )
+        if jitter is None:
+            jitter = self.BROADCAST_JITTER if next_hop == BROADCAST else 0.0
+        if jitter > 0.0:
+            delay = float(self.rng.uniform(0.0, jitter))
+            self.sim.schedule(delay, self.mac.send, packet, next_hop)
+        else:
+            self.mac.send(packet, next_hop)
+
+    def send_data(self, packet: Packet, next_hop: int, forwarded: bool) -> bool:
+        """Send a data packet toward *next_hop*, handling TTL.
+
+        Returns False (and counts the drop) when TTL is exhausted.
+        """
+        if forwarded:
+            try:
+                packet.decrement_ttl()
+            except PacketError:
+                self.stats.drops_ttl += 1
+                return False
+            self.stats.data_forwarded += 1
+        tracer = self.sim.tracer
+        if tracer.enabled("route"):
+            tracer.log(
+                self.sim.now, "route", "data-fwd" if forwarded else "data-tx",
+                self.addr, packet.src, packet.dst, next_hop, packet.uid,
+            )
+        self.mac.send(packet, next_hop)
+        return True

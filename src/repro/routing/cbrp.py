@@ -1,0 +1,439 @@
+"""CBRP — Cluster Based Routing Protocol (draft-ietf-manet-cbrp-spec).
+
+The third reactive contender. Nodes organize into 2-hop-diameter
+clusters via the lowest-ID rule; route discovery floods are pruned to
+**cluster heads and gateways only**, which is CBRP's answer to the
+RREQ-storm problem (the A4 ablation quantifies the pruning). Data is
+source-routed like DSR, with two CBRP twists implemented here:
+
+* **route shortening** — a forwarder that can hear a node further down
+  the route skips the intermediate hops;
+* **local repair** — on a broken link the forwarder tries to bridge to
+  the next hop through a common neighbor (it knows its neighbors'
+  neighbor tables from their HELLOs) before falling back to a RERR.
+
+Simplifications (DESIGN.md): routes record actual node paths rather
+than cluster-address sequences (the draft's "loose" routes are
+tightened to node paths on first use anyway), and the head contention
+timer is a fixed three HELLO periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..net.packet import BROADCAST, Packet
+from ..net.sendbuffer import SendBuffer
+from .base import RoutingProtocol
+from .dsr import RouteCache
+from .neighbors import NeighborTable
+
+__all__ = ["Cbrp", "CbrpHello", "CbrpRreq", "CbrpRrep", "CbrpRerr", "UNDECIDED", "MEMBER", "HEAD"]
+
+HELLO_INTERVAL = 2.0
+NEIGHB_HOLD = 3 * HELLO_INTERVAL
+#: A head yielding to a lower-id head waits this long first.
+CONTENTION_PERIOD = 3 * HELLO_INTERVAL
+
+HELLO_BASE_SIZE = 16
+NEIGH_ENTRY_SIZE = 6
+RREQ_BASE_SIZE = 16
+RREP_BASE_SIZE = 16
+RERR_SIZE = 16
+ADDR_SIZE = 4
+
+DISCOVERY_RETRIES = 3
+DISCOVERY_TIMEOUT = 0.5
+FLOOD_TTL = 32
+MAX_REPAIRS = 1
+
+UNDECIDED = "undecided"
+MEMBER = "member"
+HEAD = "head"
+
+
+@dataclass
+class CbrpHello:
+    role: str
+    #: Head this node is affiliated with (its own id if HEAD, -1 if none).
+    head: int
+    #: Sender's bidirectional neighbors: id -> (role, head affiliation).
+    neighbors: Dict[int, Tuple[str, int]]
+
+
+@dataclass
+class CbrpRreq:
+    orig: int
+    rreq_id: int
+    target: int
+    record: Tuple[int, ...]
+
+
+@dataclass
+class CbrpRrep:
+    route: Tuple[int, ...]
+
+
+@dataclass
+class CbrpRerr:
+    from_node: int
+    to_node: int
+    orig: int
+
+
+@dataclass
+class _Pending:
+    retries: int
+    timer: object
+
+
+class Cbrp(RoutingProtocol):
+    """CBRP routing agent.
+
+    Parameters
+    ----------
+    prune_flood:
+        When False (A4 ablation), every node forwards RREQs — blind
+        flooding, isolating the value of cluster-based pruning.
+    """
+
+    NAME = "cbrp"
+
+    def __init__(self, sim, node_id, mac, rng, prune_flood: bool = True):
+        super().__init__(sim, node_id, mac, rng)
+        self.prune_flood = prune_flood
+        self.role = UNDECIDED
+        self.neighbors = NeighborTable(NEIGHB_HOLD)
+        self.cache = RouteCache(owner=node_id)
+        self.buffer = SendBuffer()
+        self.rreq_id = 0
+        self._pending: Dict[int, _Pending] = {}
+        self._seen_rreq: Dict[Tuple[int, int], float] = {}
+        #: When a lower-id competing head was first heard (contention).
+        self._contend_since: Optional[float] = None
+        #: Local repairs performed (ablation metric).
+        self.repairs = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        self.sim.schedule(float(self.rng.uniform(0.0, HELLO_INTERVAL)), self._hello_tick)
+
+    # ----------------------------------------------------------- clustering
+
+    def my_head(self) -> int:
+        """Affiliated cluster head (own id when HEAD, -1 when none)."""
+        if self.role == HEAD:
+            return self.addr
+        heads = self._head_neighbors()
+        return min(heads) if heads else -1
+
+    def _head_neighbors(self) -> List[int]:
+        now = self.sim.now
+        return [
+            e.addr
+            for e in self.neighbors.alive_entries(now)
+            if e.bidirectional and e.meta.get("role") == HEAD
+        ]
+
+    def is_gateway(self) -> bool:
+        """Member that bridges clusters (hears 2+ heads or a foreign member)."""
+        if self.role == HEAD:
+            return False
+        heads = self._head_neighbors()
+        if len(heads) >= 2:
+            return True
+        mine = self.my_head()
+        now = self.sim.now
+        for e in self.neighbors.alive_entries(now):
+            if not e.bidirectional:
+                continue
+            their_head = e.meta.get("head", -1)
+            if their_head not in (-1, mine) and e.meta.get("role") != HEAD:
+                return True
+        return False
+
+    def _update_role(self) -> None:
+        now = self.sim.now
+        bidir = [
+            e for e in self.neighbors.alive_entries(now) if e.bidirectional
+        ]
+        heads = [e.addr for e in bidir if e.meta.get("role") == HEAD]
+
+        if self.role == HEAD:
+            lower_heads = [h for h in heads if h < self.addr]
+            if lower_heads:
+                if self._contend_since is None:
+                    self._contend_since = now
+                elif now - self._contend_since >= CONTENTION_PERIOD:
+                    self.role = MEMBER
+                    self._contend_since = None
+            else:
+                self._contend_since = None
+            return
+
+        if heads:
+            self.role = MEMBER
+            return
+        # No head in range: lowest id among non-member bidir neighbors wins.
+        contenders = [
+            e.addr for e in bidir if e.meta.get("role") != MEMBER
+        ]
+        if not contenders or self.addr < min(contenders):
+            self.role = HEAD
+        else:
+            self.role = UNDECIDED
+
+    # ---------------------------------------------------------------- hello
+
+    def _hello_tick(self) -> None:
+        now = self.sim.now
+        self.neighbors.purge(now)
+        self._update_role()
+        # List every heard neighbor (including not-yet-symmetric ones):
+        # a node learns its link is bidirectional precisely by finding
+        # itself in our HELLO, so asym entries must be advertised too.
+        neigh_map: Dict[int, Tuple[str, int]] = {
+            e.addr: (e.meta.get("role", UNDECIDED), e.meta.get("head", -1))
+            for e in self.neighbors.alive_entries(now)
+        }
+        msg = CbrpHello(self.role, self.my_head(), neigh_map)
+        size = HELLO_BASE_SIZE + NEIGH_ENTRY_SIZE * len(neigh_map)
+        pkt = self.make_control(msg, size, ttl=1)
+        self.send_control(pkt, BROADCAST)
+        self.sim.schedule(HELLO_INTERVAL, self._hello_tick)
+
+    def _on_hello(self, msg: CbrpHello, prev_hop: int) -> None:
+        now = self.sim.now
+        entry = self.neighbors.heard(
+            prev_hop, now, bidirectional=self.addr in msg.neighbors
+        )
+        entry.meta["role"] = msg.role
+        entry.meta["head"] = msg.head
+        entry.meta["neighbors"] = set(msg.neighbors)
+        self._update_role()
+
+    # ------------------------------------------------------------ data path
+
+    def originate(self, packet: Packet) -> None:
+        path = self.cache.get(packet.dst, self.sim.now)
+        if path is None and self.neighbors.is_neighbor(
+            packet.dst, self.sim.now, bidirectional_only=True
+        ):
+            path = (self.addr, packet.dst)  # one-hop shortcut, no discovery
+        if path is not None:
+            self._stamp_and_send(packet, path, forwarded=False)
+            return
+        self.buffer.add(packet, self.sim.now)
+        self._start_discovery(packet.dst)
+
+    def _stamp_and_send(self, packet: Packet, path, forwarded: bool) -> None:
+        packet.route = list(path)
+        packet.size += ADDR_SIZE * len(path)
+        self.send_data(packet, path[1], forwarded=forwarded)
+
+    def on_data_to_forward(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        route = packet.route
+        if not route or self.addr not in route:
+            self.stats.drops_no_route += 1
+            return
+        i = route.index(self.addr)
+        if i + 1 >= len(route):
+            self.stats.drops_no_route += 1
+            return
+        # Route shortening: jump to the farthest downstream node we can
+        # hear directly.
+        now = self.sim.now
+        nxt = i + 1
+        for j in range(len(route) - 1, i + 1, -1):
+            if self.neighbors.is_neighbor(route[j], now, bidirectional_only=True):
+                nxt = j
+                break
+        if nxt > i + 1:
+            del route[i + 1 : nxt]  # splice out the skipped hops
+        self.cache.add(tuple(route[i:]), now)
+        self.cache.add(tuple(reversed(route[: i + 1])), now)
+        self.send_data(packet, route[i + 1], forwarded=True)
+
+    def on_data_arrived(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        if packet.route and self.addr in packet.route:
+            i = packet.route.index(self.addr)
+            self.cache.add(tuple(reversed(packet.route[: i + 1])), self.sim.now)
+
+    # ----------------------------------------------------------- discovery
+
+    def _start_discovery(self, dst: int) -> None:
+        if dst in self._pending:
+            return
+        self.stats.discoveries += 1
+        self._send_rreq(dst)
+        timer = self.sim.schedule(DISCOVERY_TIMEOUT, self._discovery_timeout, dst)
+        self._pending[dst] = _Pending(retries=0, timer=timer)
+
+    def _send_rreq(self, dst: int) -> None:
+        self.rreq_id += 1
+        msg = CbrpRreq(self.addr, self.rreq_id, dst, record=(self.addr,))
+        self._seen_rreq[(self.addr, self.rreq_id)] = self.sim.now
+        size = RREQ_BASE_SIZE + ADDR_SIZE
+        pkt = self.make_control(msg, size, ttl=FLOOD_TTL)
+        self.send_control(pkt, BROADCAST)
+
+    def _discovery_timeout(self, dst: int) -> None:
+        pending = self._pending.get(dst)
+        if pending is None:
+            return
+        if self.cache.get(dst, self.sim.now) is not None:
+            del self._pending[dst]
+            self._flush_buffer(dst)
+            return
+        pending.retries += 1
+        if pending.retries > DISCOVERY_RETRIES:
+            del self._pending[dst]
+            dropped = self.buffer.drop_for(dst)
+            self.stats.drops_buffer += len(dropped)
+            return
+        self._send_rreq(dst)
+        wait = DISCOVERY_TIMEOUT * (2**pending.retries)
+        pending.timer = self.sim.schedule(wait, self._discovery_timeout, dst)
+
+    def _flush_buffer(self, dst: int) -> None:
+        path = self.cache.get(dst, self.sim.now)
+        if path is None:
+            return
+        for pkt in self.buffer.take_for(dst, self.sim.now):
+            self._stamp_and_send(pkt, path, forwarded=False)
+
+    # -------------------------------------------------------------- control
+
+    def on_control(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        msg = packet.payload
+        if isinstance(msg, CbrpHello):
+            self._on_hello(msg, prev_hop)
+        elif isinstance(msg, CbrpRreq):
+            self._on_rreq(packet, msg)
+        elif isinstance(msg, CbrpRrep):
+            self._on_rrep(packet, msg)
+        elif isinstance(msg, CbrpRerr):
+            self._on_rerr(packet, msg)
+
+    # -- RREQ ---------------------------------------------------------------
+
+    def _on_rreq(self, packet: Packet, msg: CbrpRreq) -> None:
+        if self.addr in msg.record:
+            return
+        key = (msg.orig, msg.rreq_id)
+        if key in self._seen_rreq:
+            return
+        self._seen_rreq[key] = self.sim.now
+        if len(self._seen_rreq) > 2048:
+            cutoff = self.sim.now - 30.0
+            self._seen_rreq = {k: t for k, t in self._seen_rreq.items() if t >= cutoff}
+
+        self.cache.add((self.addr,) + tuple(reversed(msg.record)), self.sim.now)
+
+        if msg.target == self.addr:
+            route = msg.record + (self.addr,)
+            self._send_rrep(route)
+            return
+
+        # Cluster pruning: only heads and gateways relay the flood.
+        if self.prune_flood and not (self.role == HEAD or self.is_gateway()):
+            return
+        if packet.ttl > 1:
+            fwd_msg = CbrpRreq(msg.orig, msg.rreq_id, msg.target, msg.record + (self.addr,))
+            size = RREQ_BASE_SIZE + ADDR_SIZE * len(fwd_msg.record)
+            fwd = self.make_control(fwd_msg, size, ttl=packet.ttl - 1)
+            self.send_control(fwd, BROADCAST)
+
+    # -- RREP ---------------------------------------------------------------
+
+    def _send_rrep(self, route: Tuple[int, ...]) -> None:
+        back_path = tuple(reversed(route[: route.index(self.addr) + 1]))
+        if len(back_path) < 2:
+            return
+        msg = CbrpRrep(route=route)
+        size = RREP_BASE_SIZE + ADDR_SIZE * len(route)
+        pkt = self.make_control(msg, size, dst=route[0], ttl=FLOOD_TTL)
+        pkt.route = list(back_path)
+        self.send_control(pkt, back_path[1])
+
+    def _on_rrep(self, packet: Packet, msg: CbrpRrep) -> None:
+        if packet.dst == self.addr:
+            self.cache.add(msg.route, self.sim.now)
+            dst = msg.route[-1]
+            pending = self._pending.pop(dst, None)
+            if pending is not None:
+                self.sim.cancel(pending.timer)
+            self._flush_buffer(dst)
+            return
+        route = packet.route or []
+        if self.addr in route:
+            i = route.index(self.addr)
+            if i + 1 < len(route):
+                self.send_control(packet.copy(), route[i + 1])
+
+    # -- RERR ---------------------------------------------------------------
+
+    def _send_rerr(self, from_node: int, to_node: int, orig: int, back_path) -> None:
+        if len(back_path) < 2:
+            return
+        msg = CbrpRerr(from_node, to_node, orig)
+        pkt = self.make_control(msg, RERR_SIZE, dst=orig, ttl=FLOOD_TTL)
+        pkt.route = list(back_path)
+        self.send_control(pkt, back_path[1])
+
+    def _on_rerr(self, packet: Packet, msg: CbrpRerr) -> None:
+        self.cache.remove_link(msg.from_node, msg.to_node)
+        if packet.dst == self.addr:
+            return
+        route = packet.route or []
+        if self.addr in route:
+            i = route.index(self.addr)
+            if i + 1 < len(route):
+                self.send_control(packet.copy(), route[i + 1])
+
+    # --------------------------------------------------------- link failure
+
+    def link_failed(self, packet: Packet, next_hop: int) -> None:
+        self.cache.remove_link(self.addr, next_hop)
+        self.neighbors.remove(next_hop)
+        victims = [(packet, next_hop)] if packet is not None else []
+        victims.extend(self.mac.purge_next_hop(next_hop))
+        for pkt, _nh in victims:
+            if not pkt.is_data:
+                continue
+            if not self._local_repair(pkt, next_hop):
+                if pkt.src != self.addr and pkt.route and self.addr in pkt.route:
+                    i = pkt.route.index(self.addr)
+                    back = tuple(reversed(pkt.route[: i + 1]))
+                    self._send_rerr(self.addr, next_hop, pkt.src, back)
+                if pkt.src == self.addr:
+                    # Re-originate through a fresh discovery.
+                    if pkt.route:
+                        pkt.size = max(0, pkt.size - ADDR_SIZE * len(pkt.route))
+                        pkt.route = None
+                    self.originate(pkt)
+                else:
+                    self.stats.drops_no_route += 1
+
+    def _local_repair(self, pkt: Packet, dead_hop: int) -> bool:
+        """Bridge to *dead_hop* via a common neighbor (2-hop repair)."""
+        if pkt.salvage >= MAX_REPAIRS or not pkt.route or self.addr not in pkt.route:
+            return False
+        now = self.sim.now
+        i = pkt.route.index(self.addr)
+        if i + 1 >= len(pkt.route):
+            return False
+        # We know each neighbor's neighbor set from its HELLO.
+        for e in self.neighbors.alive_entries(now):
+            if not e.bidirectional or e.addr == dead_hop:
+                continue
+            if dead_hop in e.meta.get("neighbors", ()):
+                pkt.route.insert(i + 1, e.addr)
+                pkt.size += ADDR_SIZE
+                pkt.salvage += 1
+                self.repairs += 1
+                self.send_data(pkt, e.addr, forwarded=True)
+                return True
+        return False

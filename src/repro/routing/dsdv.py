@@ -1,0 +1,216 @@
+"""DSDV — Destination-Sequenced Distance Vector (Perkins & Bhagwat '94).
+
+The proactive contender in the paper. Every node keeps a route to every
+known destination and advertises its whole table periodically; each
+destination stamps its advertisements with an even sequence number it
+alone increments, and a route is replaced only by one with a newer
+sequence number, or an equal sequence number and a shorter metric.
+Broken links are advertised with metric ∞ and an *odd* sequence number
+(the next odd after the route's last known even one) so the breakage
+propagates until the destination's next genuine update overrides it.
+
+Simplifications vs the full protocol, documented in DESIGN.md: the
+weighted-settling-time damping of advertisements is replaced by plain
+triggered incremental updates (changed routes are advertised after a
+small jitter), and updates are not split across multiple NPDUs — an
+update carries as many entries as needed.
+
+Why DSDV collapses under mobility (the paper's headline): between a
+link break and the arrival of the repaired route's next update, data
+keeps flowing into the stale/invalidated route and is dropped — there
+is no discovery to fall back on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..net.packet import BROADCAST, Packet
+from .base import RoutingProtocol
+
+__all__ = ["Dsdv", "DsdvRoute"]
+
+INFINITY = math.inf
+
+#: Bytes per advertised (destination, metric, sequence) triple.
+ENTRY_SIZE = 12
+#: Fixed update-message header bytes.
+HEADER_SIZE = 8
+
+
+@dataclass
+class DsdvRoute:
+    """One routing-table entry."""
+
+    dst: int
+    next_hop: int
+    metric: float
+    seq: int
+    changed: bool = False
+
+    @property
+    def valid(self) -> bool:
+        return self.metric < INFINITY
+
+
+class _Advert:
+    """Payload of a DSDV update packet: (dst, metric, seq) triples."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: List[Tuple[int, float, int]]):
+        self.entries = entries
+
+
+class Dsdv(RoutingProtocol):
+    """DSDV routing agent.
+
+    Parameters
+    ----------
+    update_interval:
+        Period of full-table dumps (ns-2 default 15 s).
+    trigger_delay:
+        Jitter bound before a triggered (incremental) update fires.
+    """
+
+    NAME = "dsdv"
+
+    def __init__(
+        self,
+        sim,
+        node_id,
+        mac,
+        rng,
+        update_interval: float = 15.0,
+        trigger_delay: float = 1.0,
+    ):
+        super().__init__(sim, node_id, mac, rng)
+        self.update_interval = update_interval
+        self.trigger_delay = trigger_delay
+        self.table: Dict[int, DsdvRoute] = {}
+        #: Own even sequence number, bumped at every advertisement.
+        self.seq = 0
+        self._trigger_pending = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        # Desynchronize nodes' periodic dumps.
+        delay = float(self.rng.uniform(0.0, self.update_interval))
+        self.sim.schedule(delay, self._periodic_update)
+
+    # ------------------------------------------------------------- updates
+
+    def _periodic_update(self) -> None:
+        self._broadcast_update(full=True)
+        self.sim.schedule(self.update_interval, self._periodic_update)
+
+    def _schedule_trigger(self) -> None:
+        if self._trigger_pending:
+            return
+        self._trigger_pending = True
+        delay = float(self.rng.uniform(0.0, self.trigger_delay))
+        self.sim.schedule(delay, self._fire_trigger)
+
+    def _fire_trigger(self) -> None:
+        self._trigger_pending = False
+        self._broadcast_update(full=False)
+
+    def _broadcast_update(self, full: bool) -> None:
+        self.seq += 2
+        entries: List[Tuple[int, float, int]] = [(self.addr, 0.0, self.seq)]
+        for route in self.table.values():
+            if full or route.changed:
+                entries.append((route.dst, route.metric, route.seq))
+            route.changed = False
+        if not full and len(entries) == 1 and self.sim.now > 0:
+            # Nothing actually changed; suppress a pure self-advert
+            # trigger (the periodic dump will carry it).
+            return
+        size = HEADER_SIZE + ENTRY_SIZE * len(entries)
+        pkt = self.make_control(_Advert(entries), size)
+        self.send_control(pkt, BROADCAST)
+
+    # -------------------------------------------------------------- receive
+
+    def on_control(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        advert: _Advert = packet.payload
+        changed_any = False
+        for dst, metric, seq in advert.entries:
+            if dst == self.addr:
+                # Someone advertises a route to us. If it carries an odd
+                # (broken) sequence, answer with a fresh even one so the
+                # network relearns the route quickly.
+                if seq % 2 == 1 and seq > self.seq:
+                    self.seq = seq + 1
+                    changed_any = True
+                continue
+            new_metric = metric + 1 if metric < INFINITY else INFINITY
+            cur = self.table.get(dst)
+            if cur is None:
+                if new_metric < INFINITY:
+                    self.table[dst] = DsdvRoute(dst, prev_hop, new_metric, seq, True)
+                    changed_any = True
+                continue
+            adopt = False
+            if seq > cur.seq:
+                # Newer information always wins — even a break (odd seq),
+                # but only believe breaks reported by our own next hop or
+                # carrying a newer sequence than our route.
+                adopt = True
+            elif seq == cur.seq and new_metric < cur.metric:
+                adopt = True
+            if adopt:
+                if not (
+                    cur.next_hop == prev_hop
+                    and cur.metric == new_metric
+                    and cur.seq == seq
+                ):
+                    changed_any = True
+                    cur.changed = True
+                cur.next_hop = prev_hop
+                cur.metric = new_metric
+                cur.seq = seq
+        if changed_any:
+            self._schedule_trigger()
+
+    # ------------------------------------------------------------ data path
+
+    def _lookup(self, dst: int) -> Optional[DsdvRoute]:
+        route = self.table.get(dst)
+        if route is not None and route.valid:
+            return route
+        return None
+
+    def originate(self, packet: Packet) -> None:
+        route = self._lookup(packet.dst)
+        if route is None:
+            self.stats.drops_no_route += 1
+            return
+        self.send_data(packet, route.next_hop, forwarded=False)
+
+    def on_data_to_forward(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        route = self._lookup(packet.dst)
+        if route is None:
+            self.stats.drops_no_route += 1
+            return
+        self.send_data(packet, route.next_hop, forwarded=True)
+
+    # --------------------------------------------------------- link failure
+
+    def link_failed(self, packet: Packet, next_hop: int) -> None:
+        """Mark every route through *next_hop* broken (metric ∞, odd seq)."""
+        broke = False
+        for route in self.table.values():
+            if route.next_hop == next_hop and route.valid:
+                route.metric = INFINITY
+                route.seq += 1  # odd: flagged by the destination's owner rule
+                route.changed = True
+                broke = True
+        # Purge queued packets toward the dead neighbor: without a valid
+        # route they would only burn retries.
+        self.mac.purge_next_hop(next_hop)
+        if broke:
+            self._schedule_trigger()

@@ -1,0 +1,105 @@
+"""DSR link cache — the alternative cache organization (Hu & Johnson).
+
+The default DSR cache stores whole *paths*; a **link cache** decomposes
+every learned route into individual links with per-link expiry and
+answers queries by running shortest-path over the link graph. Links
+learned from many routes compose into paths no single packet ever
+carried, so the link cache extracts more routes from the same
+observations — at the cost of composing *stale* links into routes that
+never existed. Measuring that trade is ablation A7.
+
+Drop-in replacement for :class:`~repro.routing.dsr.RouteCache` (same
+``add`` / ``get`` / ``remove_link`` / ``purge_expired`` surface).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["LinkCache"]
+
+
+class LinkCache:
+    """Per-link route cache with Dijkstra lookup.
+
+    Parameters
+    ----------
+    owner:
+        The node this cache belongs to (paths must start here).
+    lifetime:
+        Seconds a link stays usable after it was last observed.
+    max_links:
+        Bound on stored links; stalest evicted first.
+    """
+
+    def __init__(self, owner: int, lifetime: float = 300.0, max_links: int = 256):
+        self.owner = owner
+        self.lifetime = lifetime
+        self.max_links = max_links
+        #: (a, b) normalized with a < b  ->  expiry time.
+        self._links: Dict[Tuple[int, int], float] = {}
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    @staticmethod
+    def _key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    # ------------------------------------------------------------- updates
+
+    def add(self, path: Sequence[int], now: float) -> None:
+        """Decompose *path* into links, refreshing their expiry."""
+        path = tuple(path)
+        if len(path) < 2 or len(set(path)) != len(path):
+            return
+        expiry = now + self.lifetime
+        for a, b in zip(path, path[1:]):
+            key = self._key(a, b)
+            if expiry > self._links.get(key, 0.0):
+                self._links[key] = expiry
+        if len(self._links) > self.max_links:
+            for key, _exp in sorted(self._links.items(), key=lambda kv: kv[1])[
+                : len(self._links) - self.max_links
+            ]:
+                del self._links[key]
+
+    def remove_link(self, a: int, b: int) -> None:
+        self._links.pop(self._key(a, b), None)
+
+    def purge_expired(self, now: float) -> None:
+        self._links = {k: e for k, e in self._links.items() if e > now}
+
+    # -------------------------------------------------------------- lookup
+
+    def get(self, dst: int, now: float) -> Optional[Tuple[int, ...]]:
+        """Shortest live path owner→dst over the link graph, or None."""
+        if dst == self.owner:
+            return None
+        adj: Dict[int, Set[int]] = {}
+        for (a, b), expiry in self._links.items():
+            if expiry > now:
+                adj.setdefault(a, set()).add(b)
+                adj.setdefault(b, set()).add(a)
+        if self.owner not in adj or dst not in adj:
+            return None
+        # BFS (all links weight 1), deterministic neighbor order.
+        prev: Dict[int, int] = {}
+        frontier = [self.owner]
+        seen = {self.owner}
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in sorted(adj.get(u, ())):
+                    if v not in seen:
+                        seen.add(v)
+                        prev[v] = u
+                        if v == dst:
+                            path = [dst]
+                            while path[-1] != self.owner:
+                                path.append(prev[path[-1]])
+                            path.reverse()
+                            return tuple(path)
+                        nxt.append(v)
+            frontier = nxt
+        return None

@@ -1,0 +1,64 @@
+"""Blind-flooding "routing": every data packet is flooded network-wide.
+
+Not a contender in the paper — it is the methodological lower bound on
+efficiency and the upper bound on delivery in a connected network, used
+as a baseline in tests and as the reference point the overhead metrics
+are judged against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..net.packet import BROADCAST, Packet
+from .base import RoutingProtocol
+
+__all__ = ["Flooding"]
+
+
+class Flooding(RoutingProtocol):
+    """Flood data packets; deliver on first copy; suppress duplicates."""
+
+    NAME = "flood"
+
+    #: Bound on the duplicate-suppression cache.
+    SEEN_CAP = 4096
+
+    def __init__(self, sim, node_id, mac, rng):
+        super().__init__(sim, node_id, mac, rng)
+        self._seen: "OrderedDict[int, None]" = OrderedDict()
+        self._delivered: "OrderedDict[int, None]" = OrderedDict()
+
+    def _mark(self, cache: OrderedDict, key: int) -> bool:
+        """True if *key* was new; inserts and bounds the cache."""
+        if key in cache:
+            return False
+        cache[key] = None
+        if len(cache) > self.SEEN_CAP:
+            cache.popitem(last=False)
+        return True
+
+    def originate(self, packet: Packet) -> None:
+        self._mark(self._seen, packet.origin_uid)
+        self.send_data(packet, BROADCAST, forwarded=False)
+
+    def deliver(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        # Flooded data arrives as MAC broadcast regardless of its
+        # network destination, so the dispatch differs from the base:
+        # every copy is a candidate for both delivery and re-flood.
+        key = packet.origin_uid
+        if not self._mark(self._seen, key):
+            return
+        if packet.dst == self.addr or packet.is_broadcast:
+            if self._mark(self._delivered, key):
+                self.node.deliver_local(packet, prev_hop)
+            if not packet.is_broadcast:
+                return  # unicast reached its target: stop the flood here
+        fwd = packet.copy()
+        self.send_data(fwd, BROADCAST, forwarded=True)
+
+    def on_control(self, packet, prev_hop, rx_power):  # pragma: no cover
+        pass  # flooding has no control traffic
+
+    def on_data_to_forward(self, packet, prev_hop, rx_power):  # pragma: no cover
+        pass  # unreachable: deliver() is fully overridden

@@ -1,0 +1,99 @@
+"""HELLO-based neighbor sensing shared by OLSR, CBRP, and AODV-hello.
+
+Tracks, per neighbor: when it was last heard, whether the link is
+bidirectional (we appear in the neighbor's own HELLO), and optional
+protocol-specific metadata (role for CBRP, link codes for OLSR).
+Expiry is lazy — queries filter against the hold time — with an
+explicit :meth:`purge` for protocols that want loss callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["NeighborTable", "NeighborEntry"]
+
+
+class NeighborEntry:
+    """State about one heard neighbor."""
+
+    __slots__ = ("addr", "last_heard", "bidirectional", "meta")
+
+    def __init__(self, addr: int, now: float):
+        self.addr = addr
+        self.last_heard = now
+        self.bidirectional = False
+        self.meta: Dict[str, Any] = {}
+
+    def alive(self, now: float, hold: float) -> bool:
+        return now - self.last_heard <= hold
+
+
+class NeighborTable:
+    """Neighbor set with hold-time expiry.
+
+    Parameters
+    ----------
+    hold_time:
+        Seconds after the last HELLO before a neighbor is considered
+        lost (typically 3x the HELLO interval).
+    """
+
+    def __init__(self, hold_time: float):
+        if hold_time <= 0:
+            raise ValueError(f"hold_time must be > 0, got {hold_time}")
+        self.hold_time = hold_time
+        self._entries: Dict[int, NeighborEntry] = {}
+
+    def heard(self, addr: int, now: float, bidirectional: Optional[bool] = None) -> NeighborEntry:
+        """Record a HELLO (or any overheard frame) from *addr*.
+
+        ``bidirectional`` updates the link symmetry flag when given:
+        pass True when our own address appears in the HELLO's neighbor
+        list, False when it does not.
+        """
+        e = self._entries.get(addr)
+        if e is None:
+            e = NeighborEntry(addr, now)
+            self._entries[addr] = e
+        e.last_heard = now
+        if bidirectional is not None:
+            e.bidirectional = bidirectional
+        return e
+
+    def get(self, addr: int, now: float) -> Optional[NeighborEntry]:
+        """Entry for *addr* if still alive, else None."""
+        e = self._entries.get(addr)
+        if e is not None and e.alive(now, self.hold_time):
+            return e
+        return None
+
+    def remove(self, addr: int) -> None:
+        self._entries.pop(addr, None)
+
+    def alive_entries(self, now: float) -> List[NeighborEntry]:
+        return [e for e in self._entries.values() if e.alive(now, self.hold_time)]
+
+    def neighbors(self, now: float, bidirectional_only: bool = False) -> List[int]:
+        """Alive neighbor addresses (optionally symmetric links only)."""
+        return [
+            e.addr
+            for e in self._entries.values()
+            if e.alive(now, self.hold_time)
+            and (not bidirectional_only or e.bidirectional)
+        ]
+
+    def is_neighbor(self, addr: int, now: float, bidirectional_only: bool = False) -> bool:
+        e = self.get(addr, now)
+        if e is None:
+            return False
+        return e.bidirectional or not bidirectional_only
+
+    def purge(self, now: float, on_lost: Optional[Callable[[int], None]] = None) -> List[int]:
+        """Drop expired entries; reports each lost address via *on_lost*."""
+        dead = [a for a, e in self._entries.items() if not e.alive(now, self.hold_time)]
+        for a in dead:
+            del self._entries[a]
+            if on_lost is not None:
+                on_lost(a)
+        return dead

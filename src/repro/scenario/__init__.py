@@ -1,0 +1,18 @@
+"""Scenario construction, execution, and parameter sweeps."""
+
+from .build import Scenario, build_scenario
+from .config import PROTOCOLS, ScenarioConfig
+from .run import run_replications, run_scenario
+from .sweep import SweepResult, run_sweep, sweep_configs
+
+__all__ = [
+    "Scenario",
+    "build_scenario",
+    "PROTOCOLS",
+    "ScenarioConfig",
+    "run_replications",
+    "run_scenario",
+    "SweepResult",
+    "run_sweep",
+    "sweep_configs",
+]

@@ -1,0 +1,244 @@
+"""Scenario assembly: config → (simulator, network, traffic, collector)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.simulator import Simulator
+from ..mac.dcf import DcfMac
+from ..mac.ideal import IdealMac
+from ..mobility import (
+    Field,
+    GaussMarkov,
+    ManhattanGrid,
+    RandomDirection,
+    RandomWalk,
+    RandomWaypoint,
+    StaticPosition,
+    make_groups,
+)
+from ..net.stack import Network, build_network
+from ..phy.propagation import (
+    WAVELAN_914MHZ,
+    FreeSpace,
+    LogDistance,
+    TwoRayGround,
+    UnitDisk,
+)
+from ..routing import (
+    Aodv,
+    Cbrp,
+    Dsdv,
+    Dsr,
+    Flooding,
+    Olsr,
+    OracleRouting,
+    Paodv,
+    default_preempt_threshold,
+)
+from ..stats.metrics import MetricsCollector
+from ..traffic import CbrSource, OnOffSource, generate_connections
+from .config import ScenarioConfig
+
+__all__ = ["Scenario", "build_scenario"]
+
+#: Protocols that benefit from promiscuous (overhearing) MACs.
+_PROMISCUOUS = {"dsr"}
+
+
+@dataclass
+class Scenario:
+    """A fully wired simulation ready to run."""
+
+    config: ScenarioConfig
+    sim: Simulator
+    network: Network
+    sources: List
+    collector: MetricsCollector
+
+    def run(self):
+        """Execute to ``config.duration`` and return the metrics summary."""
+        self.network.start_routing()
+        for src in self.sources:
+            src.begin()
+        self.sim.run(until=self.config.duration)
+        return self.collector.finish(self.network, self.config.duration)
+
+
+def _make_propagation(cfg: ScenarioConfig):
+    if cfg.propagation == "tworay":
+        return TwoRayGround()
+    if cfg.propagation == "freespace":
+        return FreeSpace()
+    if cfg.propagation == "logdistance":
+        return LogDistance()
+    return UnitDisk(cfg.radio_range)
+
+
+def _make_mobility(cfg: ScenarioConfig, sim: Simulator):
+    field = Field(*cfg.field_size)
+    if cfg.mobility == "rpgm":
+        return make_groups(
+            field,
+            sim.rng.stream,
+            cfg.n_nodes,
+            n_groups=min(cfg.rpgm_groups, cfg.n_nodes),
+            max_speed=cfg.max_speed,
+            pause_time=cfg.pause_time,
+            radius=cfg.rpgm_radius,
+        )
+    models = []
+    for i in range(cfg.n_nodes):
+        rng = sim.rng.stream(f"mobility.{i}")
+        if cfg.mobility == "waypoint":
+            m = RandomWaypoint(
+                field,
+                rng,
+                max_speed=cfg.max_speed,
+                min_speed=cfg.min_speed,
+                pause_time=cfg.pause_time,
+            )
+        elif cfg.mobility == "walk":
+            m = RandomWalk(field, rng, max_speed=cfg.max_speed, min_speed=cfg.min_speed)
+        elif cfg.mobility == "direction":
+            m = RandomDirection(
+                field,
+                rng,
+                max_speed=cfg.max_speed,
+                min_speed=cfg.min_speed,
+                pause_time=cfg.pause_time,
+            )
+        elif cfg.mobility == "gauss_markov":
+            m = GaussMarkov(field, rng, mean_speed=max(cfg.max_speed / 2.0, 0.5))
+        elif cfg.mobility == "manhattan":
+            m = ManhattanGrid(field, rng, max_speed=cfg.max_speed, min_speed=cfg.min_speed)
+        else:  # static
+            m = StaticPosition(*field.random_point(rng))
+        models.append(m)
+    return models
+
+
+def _routing_factory(cfg: ScenarioConfig, propagation, params):
+    name = cfg.protocol
+
+    if name == "dsdv":
+        return lambda sim, nid, mac, rng: Dsdv(sim, nid, mac, rng)
+    if name == "dsr":
+        return lambda sim, nid, mac, rng: Dsr(
+            sim,
+            nid,
+            mac,
+            rng,
+            reply_from_cache=cfg.dsr_reply_from_cache,
+            cache_kind=cfg.dsr_cache,
+        )
+    if name == "aodv":
+        return lambda sim, nid, mac, rng: Aodv(
+            sim,
+            nid,
+            mac,
+            rng,
+            hello_interval=cfg.hello_interval,
+            local_repair=cfg.aodv_local_repair,
+        )
+    if name == "paodv":
+        threshold = default_preempt_threshold(propagation, params, cfg.preempt_ratio)
+        return lambda sim, nid, mac, rng: Paodv(
+            sim,
+            nid,
+            mac,
+            rng,
+            preempt_threshold=threshold,
+            hello_interval=cfg.hello_interval,
+            local_repair=cfg.aodv_local_repair,
+        )
+    if name == "cbrp":
+        return lambda sim, nid, mac, rng: Cbrp(
+            sim, nid, mac, rng, prune_flood=cfg.cbrp_prune_flood
+        )
+    if name == "olsr":
+        return lambda sim, nid, mac, rng: Olsr(sim, nid, mac, rng, use_mpr=cfg.olsr_use_mpr)
+    if name == "flooding":
+        return lambda sim, nid, mac, rng: Flooding(sim, nid, mac, rng)
+    # oracle: mobility wired post-build (needs the manager)
+    return lambda sim, nid, mac, rng: OracleRouting(
+        sim, nid, mac, rng, radio_range=cfg.radio_range
+    )
+
+
+def _mac_factory(cfg: ScenarioConfig):
+    promiscuous = cfg.protocol in _PROMISCUOUS
+    if cfg.mac == "ideal":
+        return lambda sim, radio, rng: IdealMac(sim, radio, ifq_capacity=cfg.ifq_capacity)
+    return lambda sim, radio, rng: DcfMac(
+        sim,
+        radio,
+        rng,
+        ifq_capacity=cfg.ifq_capacity,
+        use_rtscts=cfg.use_rtscts,
+        promiscuous=promiscuous,
+    )
+
+
+def build_scenario(cfg: ScenarioConfig) -> Scenario:
+    """Wire up every layer for *cfg* (deterministic in ``cfg.run_seed``)."""
+    from ..core.trace import Tracer
+
+    tracer = Tracer(cfg.trace) if cfg.trace else None
+    sim = Simulator(seed=cfg.run_seed, tracer=tracer)
+    propagation = _make_propagation(cfg)
+    params = WAVELAN_914MHZ
+    models = _make_mobility(cfg, sim)
+    network = build_network(
+        sim,
+        models,
+        routing_factory=_routing_factory(cfg, propagation, params),
+        mac_factory=_mac_factory(cfg),
+        propagation=propagation,
+        radio_params=params,
+    )
+    if cfg.protocol == "oracle":
+        for node in network.nodes:
+            node.routing.mobility = network.mobility
+
+    collector = MetricsCollector(cfg.protocol, measure_from=cfg.measure_from)
+    collector.attach(network)
+
+    connections = generate_connections(
+        cfg.n_nodes,
+        cfg.n_connections,
+        sim.rng.stream("traffic.pattern"),
+        start_window=cfg.traffic_start_window,
+    )
+    sources = []
+    for conn in connections:
+        collector.flow(conn.flow_id, conn.src, conn.dst)
+        if cfg.traffic_model == "onoff":
+            src = OnOffSource(
+                sim,
+                network.nodes[conn.src],
+                conn.dst,
+                rate=cfg.rate,
+                size=cfg.packet_size,
+                flow_id=conn.flow_id,
+                rng=sim.rng.stream(f"traffic.{conn.flow_id}"),
+                start=conn.start,
+                stop=cfg.duration,
+                on_send=collector.on_send,
+            )
+        else:
+            src = CbrSource(
+                sim,
+                network.nodes[conn.src],
+                conn.dst,
+                rate=cfg.rate,
+                size=cfg.packet_size,
+                flow_id=conn.flow_id,
+                start=conn.start,
+                stop=cfg.duration,
+                rng=sim.rng.stream(f"traffic.{conn.flow_id}"),
+                on_send=collector.on_send,
+            )
+        sources.append(src)
+    return Scenario(cfg, sim, network, sources, collector)

@@ -1,0 +1,129 @@
+"""Scenario configuration: one dataclass describing a full simulation.
+
+The defaults are the paper's base scenario *(reconstructed — see
+DESIGN.md)*: 50 nodes in 1500 m × 300 m, random waypoint at up to
+20 m/s with a variable pause time, 10 CBR sources at 4 pkt/s with
+64-byte packets, 802.11 DCF at 2 Mb/s with 250 m range, 900 s simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ScenarioConfig", "PROTOCOLS"]
+
+#: Protocols the harness can instantiate by name.
+PROTOCOLS = ("dsdv", "dsr", "aodv", "paodv", "cbrp", "olsr", "flooding", "oracle")
+
+MOBILITY_MODELS = ("waypoint", "walk", "direction", "gauss_markov", "manhattan", "rpgm", "static")
+PROPAGATION_MODELS = ("tworay", "freespace", "unitdisk", "logdistance")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to build and run one simulation."""
+
+    protocol: str = "aodv"
+    seed: int = 1
+    replication: int = 0
+
+    # --- field & nodes ---------------------------------------------------
+    n_nodes: int = 50
+    field_size: Tuple[float, float] = (1500.0, 300.0)
+
+    # --- mobility ----------------------------------------------------------
+    mobility: str = "waypoint"
+    max_speed: float = 20.0
+    min_speed: float = 0.0
+    pause_time: float = 0.0
+    #: RPGM: number of groups and member tether radius (m).
+    rpgm_groups: int = 4
+    rpgm_radius: float = 100.0
+
+    # --- traffic -----------------------------------------------------------
+    n_connections: int = 10
+    rate: float = 4.0  # packets per second per source
+    packet_size: int = 64
+    traffic_start_window: Tuple[float, float] = (0.0, 180.0)
+    traffic_model: str = "cbr"  # or "onoff"
+
+    # --- time ----------------------------------------------------------------
+    duration: float = 900.0
+    #: Packets created before this time are excluded from metrics
+    #: (warm-up cut; 0 = measure everything).
+    measure_from: float = 0.0
+
+    # --- PHY / MAC ------------------------------------------------------------
+    propagation: str = "tworay"
+    radio_range: float = 250.0  # used by unitdisk + oracle reference
+    mac: str = "dcf"  # or "ideal"
+    use_rtscts: bool = True
+    ifq_capacity: int = 50
+
+    # --- protocol options -------------------------------------------------
+    #: PAODV preemption trigger as a fraction of nominal range (see
+    #: repro.routing.paodv.PREEMPT_RANGE_RATIO for the rationale).
+    preempt_ratio: float = 0.95
+    #: DSR reply-from-cache (A3 ablation).
+    dsr_reply_from_cache: bool = True
+    #: DSR cache organization: "path" (default) or "link" (A7 ablation).
+    dsr_cache: str = "path"
+    #: CBRP cluster-pruned flooding (A4 ablation).
+    cbrp_prune_flood: bool = True
+    #: OLSR MPR flooding (A5 ablation).
+    olsr_use_mpr: bool = True
+    #: AODV/PAODV hello period; None = link-layer detection only.
+    hello_interval: Optional[float] = None
+    #: AODV local repair (RFC 3561 §6.12) — extension feature.
+    aodv_local_repair: bool = False
+
+    # --- observability -----------------------------------------------------
+    #: Trace categories to record ("route", "mac", "phy") or "all".
+    trace: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+        if self.mobility not in MOBILITY_MODELS:
+            raise ConfigurationError(
+                f"unknown mobility {self.mobility!r}; choose from {MOBILITY_MODELS}"
+            )
+        if self.propagation not in PROPAGATION_MODELS:
+            raise ConfigurationError(
+                f"unknown propagation {self.propagation!r}; "
+                f"choose from {PROPAGATION_MODELS}"
+            )
+        if self.mac not in ("dcf", "ideal"):
+            raise ConfigurationError(f"unknown mac {self.mac!r}")
+        if self.n_nodes < 2:
+            raise ConfigurationError("need at least 2 nodes")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be > 0")
+        if self.pause_time < 0:
+            raise ConfigurationError("pause_time must be >= 0")
+        if self.n_connections < 1:
+            raise ConfigurationError("need at least one connection")
+        if self.dsr_cache not in ("path", "link"):
+            raise ConfigurationError(
+                f"dsr_cache must be 'path' or 'link', got {self.dsr_cache!r}"
+            )
+        if not 0.0 <= self.measure_from < self.duration:
+            raise ConfigurationError(
+                f"measure_from must be in [0, duration), got {self.measure_from}"
+            )
+
+    # ---------------------------------------------------------------- utils
+
+    def with_(self, **changes) -> "ScenarioConfig":
+        """A modified copy (frozen-dataclass convenience)."""
+        return replace(self, **changes)
+
+    @property
+    def run_seed(self) -> int:
+        """Root seed folding in the replication index."""
+        return self.seed * 1_000_003 + self.replication

@@ -1,0 +1,120 @@
+"""Persistence: scenario configs as JSON, results as CSV.
+
+Experiment campaigns need to be re-runnable from artifacts: a saved
+config JSON plus this library version pins a simulation exactly
+(configs are frozen dataclasses of primitives and the kernel is
+deterministic in the seed).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from ..core.errors import ConfigurationError
+from ..stats.metrics import MetricsSummary
+from .config import ScenarioConfig
+from .sweep import SweepResult
+
+__all__ = [
+    "config_to_dict",
+    "config_from_dict",
+    "save_config",
+    "load_config",
+    "summaries_to_csv",
+    "sweep_to_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+def config_to_dict(cfg: ScenarioConfig) -> dict:
+    """JSON-ready dict of *cfg* (tuples become lists)."""
+    out = dataclasses.asdict(cfg)
+    for key, value in out.items():
+        if isinstance(value, tuple):
+            out[key] = list(value)
+    return out
+
+
+def config_from_dict(data: dict) -> ScenarioConfig:
+    """Rebuild a config; unknown keys raise (typo protection)."""
+    known = {f.name for f in dataclasses.fields(ScenarioConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(f"unknown config keys: {sorted(unknown)}")
+    fixed = {}
+    for key, value in data.items():
+        if isinstance(value, list):
+            value = tuple(value)
+        fixed[key] = value
+    return ScenarioConfig(**fixed)
+
+
+def save_config(cfg: ScenarioConfig, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(config_to_dict(cfg), indent=2) + "\n")
+
+
+def load_config(path: PathLike) -> ScenarioConfig:
+    return config_from_dict(json.loads(Path(path).read_text()))
+
+
+_SUMMARY_COLUMNS = [
+    "protocol",
+    "duration",
+    "data_sent",
+    "data_received",
+    "pdr",
+    "avg_delay",
+    "p95_delay",
+    "avg_hops",
+    "throughput_bps",
+    "routing_overhead_packets",
+    "routing_overhead_bytes",
+    "normalized_routing_load",
+    "mac_overhead_frames",
+    "normalized_mac_load",
+    "drops_no_route",
+    "drops_buffer",
+    "drops_ifq",
+    "drops_retry",
+    "mac_collisions",
+]
+
+
+def summaries_to_csv(
+    summaries: Iterable[MetricsSummary],
+    path: PathLike,
+    extra: Dict[str, List] = None,
+) -> None:
+    """One row per summary; optional parallel ``extra`` columns."""
+    rows = list(summaries)
+    extra = extra or {}
+    for key, values in extra.items():
+        if len(values) != len(rows):
+            raise ConfigurationError(
+                f"extra column {key!r} has {len(values)} values for {len(rows)} rows"
+            )
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(extra) + _SUMMARY_COLUMNS)
+        for i, s in enumerate(rows):
+            writer.writerow(
+                [extra[k][i] for k in extra]
+                + [getattr(s, col) for col in _SUMMARY_COLUMNS]
+            )
+
+
+def sweep_to_csv(result: SweepResult, path: PathLike) -> None:
+    """Flatten a sweep (every replication) into one CSV."""
+    rows: List[MetricsSummary] = []
+    extra: Dict[str, List] = {result.param: [], "replication": []}
+    for (proto, x), summaries in result.raw.items():
+        for rep, s in enumerate(summaries):
+            rows.append(s)
+            extra[result.param].append(x)
+            extra["replication"].append(rep)
+    summaries_to_csv(rows, path, extra=extra)

@@ -1,0 +1,121 @@
+"""Parameter sweeps with multiprocessing fan-out.
+
+A sweep is the cross product (protocol × parameter value × replication);
+every cell is an independent simulation, so the whole sweep is
+embarrassingly parallel — the map-reduce shape the HPC guides
+recommend. Workers receive pickled :class:`ScenarioConfig` objects
+(frozen dataclasses of primitives) and return
+:class:`~repro.stats.metrics.MetricsSummary` values; aggregation happens
+in the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..stats.aggregate import PointEstimate, aggregate_summaries
+from ..stats.metrics import MetricsSummary
+from .config import ScenarioConfig
+from .run import run_scenario
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "sweep_configs"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the sweep grid (before replication fan-out)."""
+
+    protocol: str
+    x: Any  # the swept parameter's value
+    config: ScenarioConfig
+
+
+@dataclass
+class SweepResult:
+    """Aggregated metrics for every (protocol, x) cell."""
+
+    param: str
+    xs: List[Any]
+    protocols: List[str]
+    #: (protocol, x) -> {metric: PointEstimate}
+    cells: Dict[Tuple[str, Any], Dict[str, PointEstimate]]
+    #: (protocol, x) -> raw per-replication summaries
+    raw: Dict[Tuple[str, Any], List[MetricsSummary]]
+
+    def series(self, protocol: str, metric: str) -> List[float]:
+        """Metric means across the sweep for one protocol."""
+        return [self.cells[(protocol, x)][metric].mean for x in self.xs]
+
+    def estimate(self, protocol: str, x: Any, metric: str) -> PointEstimate:
+        return self.cells[(protocol, x)][metric]
+
+
+def sweep_configs(
+    base: ScenarioConfig,
+    param: str,
+    values: Sequence[Any],
+    protocols: Sequence[str],
+    replications: int,
+) -> List[Tuple[SweepPoint, ScenarioConfig]]:
+    """Expand the sweep grid into concrete runnable configs."""
+    jobs: List[Tuple[SweepPoint, ScenarioConfig]] = []
+    for proto in protocols:
+        for x in values:
+            cell_cfg = base.with_(protocol=proto, **{param: x})
+            point = SweepPoint(proto, x, cell_cfg)
+            for r in range(replications):
+                jobs.append((point, cell_cfg.with_(replication=r)))
+    return jobs
+
+
+def _worker(cfg: ScenarioConfig) -> MetricsSummary:
+    return run_scenario(cfg)
+
+
+def run_sweep(
+    base: ScenarioConfig,
+    param: str,
+    values: Sequence[Any],
+    protocols: Sequence[str],
+    replications: int = 3,
+    processes: Optional[int] = None,
+) -> SweepResult:
+    """Run the full grid, in parallel when more than one CPU is available.
+
+    Parameters
+    ----------
+    processes:
+        Worker count; ``None`` uses ``os.cpu_count()``; ``1`` (or a
+        single-cell grid) runs inline — handy under pytest and for
+        debugging.
+    """
+    jobs = sweep_configs(base, param, values, protocols, replications)
+    configs = [cfg for _point, cfg in jobs]
+    if processes is None:
+        processes = os.cpu_count() or 1
+    processes = min(processes, len(configs))
+
+    if processes <= 1:
+        results = [_worker(c) for c in configs]
+    else:
+        # fork is fine: workers only compute, and the parent holds no
+        # threads. spawn would re-import the world per worker.
+        ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+        with ctx.Pool(processes) as pool:
+            results = pool.map(_worker, configs, chunksize=1)
+
+    raw: Dict[Tuple[str, Any], List[MetricsSummary]] = {}
+    for (point, _cfg), summary in zip(jobs, results):
+        raw.setdefault((point.protocol, point.x), []).append(summary)
+
+    cells = {key: aggregate_summaries(v) for key, v in raw.items()}
+    return SweepResult(
+        param=param,
+        xs=list(values),
+        protocols=list(protocols),
+        cells=cells,
+        raw=raw,
+    )

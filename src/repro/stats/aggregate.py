@@ -1,0 +1,77 @@
+"""Aggregation of replicated runs: means and confidence intervals.
+
+Every experiment point in the paper is the mean of several independent
+replications; we report mean ± half-width of a 95 % Student-t interval
+(falling back to the normal quantile when SciPy is unavailable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from .metrics import MetricsSummary
+
+__all__ = ["PointEstimate", "aggregate_rows", "aggregate_summaries", "t_quantile"]
+
+
+def t_quantile(confidence: float, dof: int) -> float:
+    """Two-sided Student-t quantile (e.g. 0.95, dof) — SciPy if present."""
+    if dof < 1:
+        return float("nan")
+    try:
+        from scipy import stats as _st
+
+        return float(_st.t.ppf(0.5 + confidence / 2.0, dof))
+    except Exception:  # pragma: no cover - scipy is installed in CI
+        # Normal approximation; exact enough for dof >= 5.
+        return 1.959963984540054 if confidence == 0.95 else float("nan")
+
+
+@dataclass(frozen=True)
+class PointEstimate:
+    """Mean with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    def __str__(self) -> str:
+        if self.n <= 1 or math.isnan(self.half_width):
+            return f"{self.mean:.4g}"
+        return f"{self.mean:.4g} ±{self.half_width:.2g}"
+
+
+def estimate(values: Sequence[float], confidence: float = 0.95) -> PointEstimate:
+    """Point estimate for one metric across replications."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    n = len(arr)
+    if n == 0:
+        return PointEstimate(float("nan"), float("nan"), 0)
+    mean = float(arr.mean())
+    if n == 1:
+        return PointEstimate(mean, float("nan"), 1)
+    sem = float(arr.std(ddof=1)) / math.sqrt(n)
+    return PointEstimate(mean, t_quantile(confidence, n - 1) * sem, n)
+
+
+def aggregate_rows(
+    rows: Iterable[Dict[str, float]], confidence: float = 0.95
+) -> Dict[str, PointEstimate]:
+    """Aggregate flat metric dicts (``MetricsSummary.row()``) per key."""
+    collected: Dict[str, List[float]] = {}
+    for row in rows:
+        for key, value in row.items():
+            collected.setdefault(key, []).append(value)
+    return {k: estimate(v, confidence) for k, v in collected.items()}
+
+
+def aggregate_summaries(
+    summaries: Iterable[MetricsSummary], confidence: float = 0.95
+) -> Dict[str, PointEstimate]:
+    """Aggregate full summaries into per-metric point estimates."""
+    return aggregate_rows((s.row() for s in summaries), confidence)

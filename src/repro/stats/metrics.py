@@ -1,0 +1,210 @@
+"""Metric collection: the paper's four quantitative metrics + extras.
+
+* **Packet delivery ratio** — received data packets / sent data packets.
+* **Average end-to-end delay** — mean (arrival − creation) over
+  delivered data packets; includes buffering during route discovery,
+  queueing, contention, and retransmission.
+* **Normalized routing load** — routing control *transmissions* (every
+  hop of every control packet counts once, the Broch et al. convention)
+  per delivered data packet.
+* **Normalized MAC load** — (routing control transmissions + RTS + CTS
+  + MAC ACK frames) per delivered data packet.
+
+Plus: throughput, hop counts, per-flow breakdowns, and drop accounting.
+The collector hooks node receive callbacks and CBR ``on_send`` at build
+time; totals from layer stats objects are read once at :meth:`finish`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..net.packet import Packet
+from ..net.stack import Network
+
+__all__ = ["MetricsCollector", "MetricsSummary", "FlowStats"]
+
+
+@dataclass
+class FlowStats:
+    """Per-flow send/receive accounting."""
+
+    flow_id: int
+    src: int
+    dst: int
+    sent: int = 0
+    received: int = 0
+    delays: List[float] = field(default_factory=list)
+
+    @property
+    def pdr(self) -> float:
+        return self.received / self.sent if self.sent else 0.0
+
+
+@dataclass
+class MetricsSummary:
+    """End-of-run metric values for one simulation."""
+
+    protocol: str
+    duration: float
+    data_sent: int
+    data_received: int
+    pdr: float
+    avg_delay: float
+    p95_delay: float
+    avg_hops: float
+    throughput_bps: float
+    #: Routing control transmissions (all hops).
+    routing_overhead_packets: int
+    routing_overhead_bytes: int
+    normalized_routing_load: float
+    #: Routing control + RTS/CTS/ACK frames.
+    mac_overhead_frames: int
+    normalized_mac_load: float
+    drops_no_route: int
+    drops_buffer: int
+    drops_ifq: int
+    drops_retry: int
+    mac_collisions: int
+    flows: Dict[int, FlowStats] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, float]:
+        """Flat dict of the headline metrics (for tables/aggregation)."""
+        return {
+            "pdr": self.pdr,
+            "avg_delay": self.avg_delay,
+            "nrl": self.normalized_routing_load,
+            "mac_load": self.normalized_mac_load,
+            "overhead_pkts": float(self.routing_overhead_packets),
+            "throughput_bps": self.throughput_bps,
+            "avg_hops": self.avg_hops,
+        }
+
+
+class MetricsCollector:
+    """Accumulates data-plane events during a run; summarizes at the end."""
+
+    def __init__(self, protocol: str, measure_from: float = 0.0):
+        self.protocol = protocol
+        #: Packets created before this time are excluded (warm-up cut).
+        self.measure_from = measure_from
+        self.flows: Dict[int, FlowStats] = {}
+        self.data_sent = 0
+        self.data_received = 0
+        self._delays: List[float] = []
+        self._hops: List[int] = []
+        self._bytes_received = 0
+        self._seen_deliveries: set = set()
+        self._sim = None
+
+    # ------------------------------------------------------------ wiring
+
+    def attach(self, network: Network) -> None:
+        """Register the receive hook on every node."""
+        self._sim = network.sim
+        for node in network.nodes:
+            node.register_receiver(self.on_receive)
+
+    def flow(self, flow_id: int, src: int, dst: int) -> FlowStats:
+        fs = self.flows.get(flow_id)
+        if fs is None:
+            fs = FlowStats(flow_id, src, dst)
+            self.flows[flow_id] = fs
+        return fs
+
+    # ------------------------------------------------------------- events
+
+    def on_send(self, packet: Packet) -> None:
+        """Hook for traffic sources (CbrSource ``on_send``)."""
+        if packet.created < self.measure_from:
+            return  # warm-up traffic is not measured
+        self.data_sent += 1
+        payload = packet.payload
+        if payload is not None and hasattr(payload, "flow_id"):
+            self.flow(payload.flow_id, packet.src, packet.dst).sent += 1
+            # Stamp creation (Node.send already set created = now).
+
+    def on_receive(self, packet: Packet, prev_hop: int) -> None:
+        """Node receive callback: a data packet reached its destination."""
+        if not packet.is_data or packet.proto != "cbr":
+            return
+        if packet.created < self.measure_from:
+            return  # counterpart of the on_send warm-up cut
+        if packet.origin_uid in self._seen_deliveries:
+            return  # duplicate delivery (should be rare; MAC dedups)
+        self._seen_deliveries.add(packet.origin_uid)
+        self.data_received += 1
+        # Delivery callbacks run inside the event that delivered the
+        # packet, so the simulator clock is the arrival time; ``created``
+        # was stamped at origination by Node.send.
+        delay = max(0.0, self._sim.now - packet.created)
+        self._delays.append(delay)
+        self._hops.append(packet.hops)
+        self._bytes_received += packet.size
+        payload = packet.payload
+        if payload is not None and hasattr(payload, "flow_id"):
+            fs = self.flows.get(payload.flow_id)
+            if fs is not None:
+                fs.received += 1
+                fs.delays.append(delay)
+
+    # ------------------------------------------------------------- summary
+
+    def finish(self, network: Network, duration: float) -> MetricsSummary:
+        """Fold layer counters into the final summary."""
+        routing_pkts = 0
+        routing_bytes = 0
+        drops_no_route = 0
+        drops_buffer = 0
+        drops_ifq = 0
+        drops_retry = 0
+        mac_ctrl = 0
+        collisions = 0
+        for node in network.nodes:
+            rs = node.routing.stats
+            routing_pkts += rs.control_packets
+            routing_bytes += rs.control_bytes
+            drops_no_route += rs.drops_no_route
+            drops_buffer += rs.drops_buffer
+            ms = node.mac.stats
+            drops_ifq += ms.drops_ifq_full
+            drops_retry += ms.drops_retry_limit
+            mac_ctrl += ms.control_frames_sent
+            collisions += node.radio.stats.collisions
+
+        delays = np.asarray(self._delays, dtype=np.float64)
+        hops = np.asarray(self._hops, dtype=np.float64)
+        received = self.data_received
+        return MetricsSummary(
+            protocol=self.protocol,
+            duration=duration,
+            data_sent=self.data_sent,
+            data_received=received,
+            pdr=received / self.data_sent if self.data_sent else 0.0,
+            avg_delay=float(delays.mean()) if received else 0.0,
+            p95_delay=float(np.percentile(delays, 95)) if received else 0.0,
+            avg_hops=float(hops.mean()) if received else 0.0,
+            throughput_bps=self._bytes_received * 8.0 / duration if duration else 0.0,
+            routing_overhead_packets=routing_pkts,
+            routing_overhead_bytes=routing_bytes,
+            normalized_routing_load=routing_pkts / received if received else float(
+                "inf"
+            )
+            if routing_pkts
+            else 0.0,
+            mac_overhead_frames=routing_pkts + mac_ctrl,
+            normalized_mac_load=(routing_pkts + mac_ctrl) / received
+            if received
+            else float("inf")
+            if (routing_pkts + mac_ctrl)
+            else 0.0,
+            drops_no_route=drops_no_route,
+            drops_buffer=drops_buffer,
+            drops_ifq=drops_ifq,
+            drops_retry=drops_retry,
+            mac_collisions=collisions,
+            flows=self.flows,
+        )

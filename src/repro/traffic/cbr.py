@@ -1,0 +1,117 @@
+"""Constant-bit-rate (CBR/UDP) traffic source — the paper's workload.
+
+One source emits fixed-size packets at a fixed rate toward one
+destination, exactly like ns-2's ``Application/Traffic/CBR`` over UDP
+(no acknowledgements, no congestion control — lost means lost, which is
+what makes the packet delivery ratio a protocol property rather than a
+transport property).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.simulator import Simulator
+from ..net.node import Node
+from ..net.packet import Packet
+
+__all__ = ["CbrSource", "FlowPayload"]
+
+
+class FlowPayload:
+    """Application datum carried by each CBR packet."""
+
+    __slots__ = ("flow_id", "seq")
+
+    def __init__(self, flow_id: int, seq: int):
+        self.flow_id = flow_id
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FlowPayload(flow={self.flow_id}, seq={self.seq})"
+
+
+class CbrSource:
+    """Periodic packet generator bound to one node and one destination.
+
+    Parameters
+    ----------
+    node:
+        Source node (packets enter its routing agent).
+    dst:
+        Destination node id.
+    rate:
+        Packets per second.
+    size:
+        Payload bytes per packet (the paper uses 64 and 512).
+    start, stop:
+        Active interval in simulation seconds; ``stop=None`` never stops.
+    jitter:
+        Uniform per-packet send jitter as a fraction of the interval
+        (breaks phase lock between sources, like ns-2's ``random_`` flag).
+    on_send:
+        Callback ``(packet)`` invoked for every originated packet
+        (metrics hook).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        dst: int,
+        rate: float,
+        size: int,
+        flow_id: int,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        rng=None,
+        jitter: float = 0.1,
+        on_send: Optional[Callable[[Packet], None]] = None,
+    ):
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0 pkt/s, got {rate}")
+        if size <= 0:
+            raise ConfigurationError(f"size must be > 0 bytes, got {size}")
+        if stop is not None and stop < start:
+            raise ConfigurationError(f"stop {stop} before start {start}")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError(f"jitter fraction must be in [0, 1), got {jitter}")
+        self.sim = sim
+        self.node = node
+        self.dst = dst
+        self.interval = 1.0 / rate
+        self.size = size
+        self.flow_id = flow_id
+        self.start = start
+        self.stop = stop
+        self.rng = rng
+        self.jitter = jitter
+        self.on_send = on_send
+        self.seq = 0
+        self.packets_sent = 0
+        self._started = False
+
+    def begin(self) -> None:
+        """Arm the source (schedules the first packet)."""
+        if self._started:
+            raise ConfigurationError("CBR source started twice")
+        self._started = True
+        delay = max(self.start - self.sim.now, 0.0)
+        self.sim.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        if self.stop is not None and now >= self.stop:
+            return
+        pkt = self.node.send(
+            self.dst, self.size, payload=FlowPayload(self.flow_id, self.seq), proto="cbr"
+        )
+        self.seq += 1
+        self.packets_sent += 1
+        if self.on_send is not None:
+            self.on_send(pkt)
+        gap = self.interval
+        if self.rng is not None and self.jitter > 0.0:
+            gap *= 1.0 + self.jitter * float(self.rng.uniform(-1.0, 1.0))
+        self.sim.schedule(gap, self._tick)

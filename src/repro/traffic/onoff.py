@@ -1,0 +1,87 @@
+"""Exponential on/off traffic source.
+
+Bursty alternative to CBR for the traffic-sensitivity ablation: the
+source alternates exponentially distributed ON periods (packets at the
+configured rate) and OFF periods (silent). Mean rate is
+``rate * on_mean / (on_mean + off_mean)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.simulator import Simulator
+from ..net.node import Node
+from ..net.packet import Packet
+from .cbr import FlowPayload
+
+__all__ = ["OnOffSource"]
+
+
+class OnOffSource:
+    """Exponential on/off packet generator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        dst: int,
+        rate: float,
+        size: int,
+        flow_id: int,
+        rng,
+        on_mean: float = 1.0,
+        off_mean: float = 1.0,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        on_send: Optional[Callable[[Packet], None]] = None,
+    ):
+        if rate <= 0 or size <= 0:
+            raise ConfigurationError("rate and size must be > 0")
+        if on_mean <= 0 or off_mean < 0:
+            raise ConfigurationError("on_mean must be > 0 and off_mean >= 0")
+        self.sim = sim
+        self.node = node
+        self.dst = dst
+        self.interval = 1.0 / rate
+        self.size = size
+        self.flow_id = flow_id
+        self.rng = rng
+        self.on_mean = on_mean
+        self.off_mean = off_mean
+        self.start = start
+        self.stop = stop
+        self.on_send = on_send
+        self.seq = 0
+        self.packets_sent = 0
+        self._on_until = 0.0
+
+    def begin(self) -> None:
+        delay = max(self.start - self.sim.now, 0.0)
+        self.sim.schedule(delay, self._start_burst)
+
+    def _expired(self) -> bool:
+        return self.stop is not None and self.sim.now >= self.stop
+
+    def _start_burst(self) -> None:
+        if self._expired():
+            return
+        self._on_until = self.sim.now + float(self.rng.exponential(self.on_mean))
+        self._tick()
+
+    def _tick(self) -> None:
+        if self._expired():
+            return
+        if self.sim.now >= self._on_until:
+            off = float(self.rng.exponential(self.off_mean)) if self.off_mean > 0 else 0.0
+            self.sim.schedule(off, self._start_burst)
+            return
+        pkt = self.node.send(
+            self.dst, self.size, payload=FlowPayload(self.flow_id, self.seq), proto="cbr"
+        )
+        self.seq += 1
+        self.packets_sent += 1
+        if self.on_send is not None:
+            self.on_send(pkt)
+        self.sim.schedule(self.interval, self._tick)

@@ -1,0 +1,74 @@
+"""Traffic-pattern generation: which node talks to whom, starting when.
+
+Reproduces the CMU ``cbrgen`` behaviour the paper's methodology lineage
+uses: source/destination pairs drawn at random (no self-traffic, no
+duplicate pairs unless unavoidable), with start times staggered
+uniformly over a window so discoveries do not synchronize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["Connection", "generate_connections"]
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One CBR conversation."""
+
+    src: int
+    dst: int
+    start: float
+    flow_id: int
+
+
+def generate_connections(
+    n_nodes: int,
+    n_connections: int,
+    rng,
+    start_window: tuple = (0.0, 180.0),
+    allow_shared_sources: bool = True,
+) -> List[Connection]:
+    """Random source→destination pairs with staggered starts.
+
+    Each source is distinct when possible (``cbrgen`` style: a node
+    sources at most one flow unless there are more flows than nodes);
+    destinations are any other node.
+    """
+    if n_nodes < 2:
+        raise ConfigurationError("need at least 2 nodes for traffic")
+    if n_connections < 1:
+        raise ConfigurationError("need at least 1 connection")
+    lo, hi = start_window
+    if hi < lo:
+        raise ConfigurationError(f"bad start window {start_window}")
+
+    sources: List[int] = []
+    pool = list(range(n_nodes))
+    while len(sources) < n_connections:
+        rng.shuffle(pool)
+        take = min(n_connections - len(sources), n_nodes)
+        sources.extend(pool[:take])
+        if not allow_shared_sources and len(sources) >= n_nodes:
+            raise ConfigurationError(
+                f"{n_connections} distinct sources requested but only "
+                f"{n_nodes} nodes exist"
+            )
+
+    out: List[Connection] = []
+    seen_pairs = set()
+    for flow_id, src in enumerate(sources):
+        for _attempt in range(64):
+            dst = int(rng.integers(0, n_nodes))
+            if dst != src and (src, dst) not in seen_pairs:
+                break
+        else:  # pragma: no cover - only with pathological tiny configs
+            dst = (src + 1) % n_nodes
+        seen_pairs.add((src, dst))
+        start = float(rng.uniform(lo, hi))
+        out.append(Connection(src=src, dst=dst, start=start, flow_id=flow_id))
+    return out

@@ -1,0 +1,190 @@
+"""Stop-and-wait reliable transport over the MANET ("TCP-lite").
+
+The paper's metrics section notes that with TCP above, packet loss
+turns into retransmissions and congestion. This minimal ARQ transport
+makes that observable: a window-1 sender retransmits unacknowledged
+segments with exponential backoff, and the destination acknowledges
+every segment over the same routing substrate (so ACKs exercise the
+reverse route, which reactive protocols must discover too).
+
+Deliberately simple — no congestion window, no SACK — because the
+point is protocol-layer interaction, not transport research.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.simulator import Simulator
+from ..net.node import Node
+from ..net.packet import Packet
+
+__all__ = ["ReliableSegment", "ReliableSource", "ReliableSink"]
+
+PROTO = "rdt"
+ACK_SIZE = 12
+DEFAULT_TIMEOUT = 0.5
+MAX_RETRIES = 6
+
+
+class ReliableSegment:
+    """Transport header: (flow, seq, kind) with kind 'data' or 'ack'."""
+
+    __slots__ = ("flow_id", "seq", "kind")
+
+    def __init__(self, flow_id: int, seq: int, kind: str):
+        self.flow_id = flow_id
+        self.seq = seq
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ReliableSegment(flow={self.flow_id}, seq={self.seq}, {self.kind})"
+
+
+class ReliableSink:
+    """Acknowledges every received data segment of its flow."""
+
+    def __init__(self, node: Node, flow_id: int):
+        self.node = node
+        self.flow_id = flow_id
+        self.received: set = set()
+        self.duplicates = 0
+        node.register_receiver(self._on_packet)
+
+    def _on_packet(self, packet: Packet, prev_hop: int) -> None:
+        seg = packet.payload
+        if packet.proto != PROTO or not isinstance(seg, ReliableSegment):
+            return
+        if seg.kind != "data" or seg.flow_id != self.flow_id:
+            return
+        if seg.seq in self.received:
+            self.duplicates += 1
+        else:
+            self.received.add(seg.seq)
+        # Always re-ACK: the previous ACK may have been lost.
+        self.node.send(
+            packet.src,
+            ACK_SIZE,
+            payload=ReliableSegment(self.flow_id, seg.seq, "ack"),
+            proto=PROTO,
+        )
+
+
+class ReliableSource:
+    """Window-1 ARQ sender transferring ``n_segments`` segments.
+
+    Parameters
+    ----------
+    timeout:
+        Initial retransmission timeout (doubles per retry).
+    on_complete:
+        Callback ``(source)`` fired when the transfer finishes (all
+        segments acknowledged) or is abandoned.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        dst: int,
+        n_segments: int,
+        size: int,
+        flow_id: int,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_retries: int = MAX_RETRIES,
+        gap: float = 0.0,
+        on_complete: Optional[Callable[["ReliableSource"], None]] = None,
+    ):
+        if n_segments < 1:
+            raise ConfigurationError("need at least one segment")
+        if size <= 0 or timeout <= 0:
+            raise ConfigurationError("size and timeout must be > 0")
+        if gap < 0:
+            raise ConfigurationError("gap must be >= 0")
+        self.sim = sim
+        self.node = node
+        self.dst = dst
+        self.n_segments = n_segments
+        self.size = size
+        self.flow_id = flow_id
+        self.timeout = timeout
+        self.max_retries = max_retries
+        #: Pause between an ACK and the next segment (paces the transfer
+        #: so it spans mobility events instead of finishing in one RTT).
+        self.gap = gap
+        self.on_complete = on_complete
+
+        self.next_seq = 0
+        self.acked = 0
+        self.retransmissions = 0
+        self.abandoned = False
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._retries = 0
+        self._timer = None
+        node.register_receiver(self._on_packet)
+
+    # ------------------------------------------------------------- control
+
+    def begin(self) -> None:
+        self.started_at = self.sim.now
+        self._send_current(first=True)
+
+    @property
+    def complete(self) -> bool:
+        return self.acked >= self.n_segments
+
+    @property
+    def transfer_time(self) -> Optional[float]:
+        if self.finished_at is None or self.started_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    # -------------------------------------------------------------- engine
+
+    def _send_current(self, first: bool) -> None:
+        if not first:
+            self.retransmissions += 1
+        self.node.send(
+            self.dst,
+            self.size,
+            payload=ReliableSegment(self.flow_id, self.next_seq, "data"),
+            proto=PROTO,
+        )
+        wait = self.timeout * (2**self._retries)
+        self._timer = self.sim.schedule(wait, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        self._retries += 1
+        if self._retries > self.max_retries:
+            self.abandoned = True
+            self.finished_at = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete(self)
+            return
+        self._send_current(first=False)
+
+    def _on_packet(self, packet: Packet, prev_hop: int) -> None:
+        seg = packet.payload
+        if packet.proto != PROTO or not isinstance(seg, ReliableSegment):
+            return
+        if seg.kind != "ack" or seg.flow_id != self.flow_id:
+            return
+        if seg.seq != self.next_seq:
+            return  # stale ACK
+        self.sim.cancel(self._timer)
+        self._timer = None
+        self._retries = 0
+        self.acked += 1
+        self.next_seq += 1
+        if self.complete:
+            self.finished_at = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete(self)
+            return
+        if self.gap > 0:
+            self.sim.schedule(self.gap, self._send_current, True)
+        else:
+            self._send_current(first=True)

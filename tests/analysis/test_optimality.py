@@ -1,0 +1,68 @@
+"""Path-optimality probe."""
+
+import math
+
+import pytest
+
+from repro.analysis import PathOptimalityProbe
+from repro.scenario import ScenarioConfig, build_scenario
+
+SMALL = dict(
+    n_nodes=12,
+    field_size=(700.0, 300.0),
+    duration=30.0,
+    n_connections=3,
+    traffic_start_window=(0.0, 5.0),
+    seed=5,
+)
+
+
+def run_with_probe(protocol, sample_every=1, **kw):
+    cfg = ScenarioConfig(protocol=protocol, **{**SMALL, **kw})
+    scen = build_scenario(cfg)
+    probe = PathOptimalityProbe(scen.network, radio_range=250.0, sample_every=sample_every)
+    summary = scen.run()
+    return probe.summary(), summary
+
+
+def test_oracle_routes_are_optimal():
+    opt, _ = run_with_probe("oracle", mobility="static")
+    assert opt.sampled > 0
+    assert opt.fraction_optimal == pytest.approx(1.0)
+    assert opt.mean_stretch == pytest.approx(0.0)
+
+
+def test_aodv_static_near_optimal():
+    opt, _ = run_with_probe("aodv", mobility="static")
+    assert opt.sampled > 0
+    assert opt.mean_stretch < 1.0
+
+
+def test_histogram_totals_match_sampled():
+    opt, _ = run_with_probe("aodv")
+    assert sum(opt.histogram.values()) == opt.sampled
+
+
+def test_sampling_reduces_samples():
+    full, s1 = run_with_probe("aodv", mobility="static")
+    sampled, s2 = run_with_probe("aodv", mobility="static", sample_every=4)
+    assert s1.data_received == s2.data_received  # probe must not perturb
+    assert 0 < sampled.sampled < full.sampled
+
+
+def test_empty_summary_is_nan():
+    cfg = ScenarioConfig(protocol="aodv", **{**SMALL, "duration": 1.0,
+                                             "traffic_start_window": (0.5, 0.9)})
+    scen = build_scenario(cfg)
+    probe = PathOptimalityProbe(scen.network)
+    scen.run()
+    opt = probe.summary()
+    if opt.sampled == 0:
+        assert math.isnan(opt.mean_stretch)
+
+
+def test_bad_sample_every():
+    cfg = ScenarioConfig(protocol="aodv", **SMALL)
+    scen = build_scenario(cfg)
+    with pytest.raises(ValueError):
+        PathOptimalityProbe(scen.network, sample_every=0)

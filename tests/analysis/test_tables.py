@@ -1,0 +1,74 @@
+"""ASCII rendering utilities."""
+
+import math
+
+from repro.analysis import (
+    fmt,
+    render_ascii_chart,
+    render_kv_table,
+    render_series_table,
+)
+
+
+class TestFmt:
+    def test_basic(self):
+        assert fmt(None) == "-"
+        assert fmt("x") == "x"
+        assert fmt(0.0) == "0"
+        assert fmt(float("nan")) == "nan"
+        assert fmt(5) == "5"
+
+    def test_magnitudes(self):
+        assert fmt(123456.0) == "1.23e+05"
+        assert fmt(0.0001) == "0.0001"
+        assert fmt(0.25) == "0.25"
+
+
+class TestSeriesTable:
+    def test_structure(self):
+        out = render_series_table(
+            "Fig X", "pause", [0, 30], {"aodv": [0.9, 0.95], "dsdv": [0.5, 0.8]}
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig X"
+        assert "pause" in lines[2]
+        assert any("aodv" in ln for ln in lines)
+        assert any("dsdv" in ln for ln in lines)
+
+    def test_ci_annotation(self):
+        out = render_series_table(
+            "T", "x", [0], {"a": [1.0]}, ci={"a": [0.1]}
+        )
+        assert "±" in out
+
+    def test_nan_ci_skipped(self):
+        out = render_series_table(
+            "T", "x", [0], {"a": [1.0]}, ci={"a": [math.nan]}
+        )
+        assert "±" not in out
+
+
+class TestAsciiChart:
+    def test_markers_present(self):
+        out = render_ascii_chart([0, 1, 2], {"a": [0.0, 0.5, 1.0], "b": [1.0, 0.5, 0.0]})
+        assert "o" in out and "x" in out
+        assert "o=a" in out and "x=b" in out
+
+    def test_constant_series_ok(self):
+        out = render_ascii_chart([0, 1], {"a": [2.0, 2.0]})
+        assert "o" in out
+
+    def test_no_finite_data(self):
+        out = render_ascii_chart([0], {"a": [float("nan")]})
+        assert "no finite data" in out
+
+    def test_single_point(self):
+        out = render_ascii_chart([0], {"a": [1.0]})
+        assert "o" in out
+
+
+class TestKvTable:
+    def test_pairs_rendered(self):
+        out = render_kv_table("Params", {"Nodes": 50, "Area": "1500x300"})
+        assert "Nodes" in out and "50" in out
+        assert "1500x300" in out

@@ -1,0 +1,64 @@
+"""Topology snapshot rendering."""
+
+import numpy as np
+
+from repro.analysis import render_network, render_topology
+from repro.mobility import Field
+
+
+class TestRenderTopology:
+    def test_nodes_appear(self):
+        pos = np.array([[0.0, 0.0], [500.0, 250.0], [999.0, 499.0]])
+        out = render_topology(pos, Field(1000.0, 500.0), width=40, height=10)
+        assert "0" in out and "1" in out and "2" in out
+
+    def test_custom_labels(self):
+        pos = np.array([[100.0, 100.0], [300.0, 100.0]])
+        out = render_topology(
+            pos, Field(400.0, 200.0), labels={0: "H", 1: "m"}
+        )
+        assert "H" in out and "m" in out
+
+    def test_links_drawn_when_in_range(self):
+        pos = np.array([[0.0, 50.0], [200.0, 50.0]])
+        out = render_topology(pos, Field(400.0, 100.0), radio_range=250.0)
+        assert "." in out
+
+    def test_no_links_when_out_of_range(self):
+        pos = np.array([[0.0, 50.0], [390.0, 50.0]])
+        out = render_topology(pos, Field(400.0, 100.0), radio_range=100.0)
+        assert "." not in out
+
+    def test_bounds_clamped(self):
+        # Positions exactly on the field border must not crash.
+        pos = np.array([[0.0, 0.0], [400.0, 200.0]])
+        out = render_topology(pos, Field(400.0, 200.0), width=20, height=6)
+        assert out.count("\n") == 7  # border + 6 rows + border
+
+
+class TestRenderNetwork:
+    def test_snapshot_of_scenario(self):
+        from repro.scenario import ScenarioConfig, build_scenario
+
+        cfg = ScenarioConfig(
+            protocol="aodv", n_nodes=6, field_size=(500.0, 300.0),
+            duration=5.0, n_connections=2, traffic_start_window=(0.0, 1.0),
+            seed=3,
+        )
+        scen = build_scenario(cfg)
+        scen.run()
+        out = render_network(scen.network, width=40, height=8)
+        assert "+" in out and "|" in out
+
+    def test_label_fn(self):
+        from repro.scenario import ScenarioConfig, build_scenario
+
+        cfg = ScenarioConfig(
+            protocol="aodv", n_nodes=4, field_size=(500.0, 300.0),
+            duration=2.0, n_connections=1, traffic_start_window=(0.0, 1.0),
+            seed=3,
+        )
+        scen = build_scenario(cfg)
+        scen.run()
+        out = render_network(scen.network, label_fn=lambda n: "N", show_links=False)
+        assert "N" in out

@@ -1,0 +1,129 @@
+"""Unit and property tests for the event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.events import Event, EventQueue
+from repro.core.errors import SchedulingError
+
+
+def test_push_pop_single():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    assert len(q) == 1
+    popped = q.pop()
+    assert popped is ev
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_pop_orders_by_time():
+    q = EventQueue()
+    q.push(3.0, lambda: "c")
+    q.push(1.0, lambda: "a")
+    q.push(2.0, lambda: "b")
+    times = [q.pop().time for _ in range(3)]
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_ties_fire_in_scheduling_order():
+    q = EventQueue()
+    first = q.push(5.0, lambda: None)
+    second = q.push(5.0, lambda: None)
+    assert q.pop() is first
+    assert q.pop() is second
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    keep = q.push(1.0, lambda: None)
+    drop = q.push(0.5, lambda: None)
+    drop.cancel()
+    q.notify_cancel()
+    assert len(q) == 1
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    drop = q.push(0.5, lambda: None)
+    q.push(2.0, lambda: None)
+    drop.cancel()
+    q.notify_cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_notify_cancel_underflow_raises():
+    q = EventQueue()
+    with pytest.raises(SchedulingError):
+        q.notify_cancel()
+
+
+def test_clear_empties_queue():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_event_repr_and_cancel_flag():
+    ev = Event(1.5, 0, lambda: None, ())
+    assert not ev.cancelled
+    ev.cancel()
+    assert ev.cancelled
+
+
+def test_event_ordering_dunder():
+    a = Event(1.0, 0, lambda: None, ())
+    b = Event(1.0, 1, lambda: None, ())
+    c = Event(0.5, 2, lambda: None, ())
+    assert a < b
+    assert c < a
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=200))
+def test_pop_sequence_is_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    out = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        out.append(ev.time)
+    assert out == sorted(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False), st.booleans()),
+        max_size=100,
+    )
+)
+def test_cancellation_never_loses_live_events(entries):
+    """Live events all come out; cancelled ones never do."""
+    q = EventQueue()
+    live = []
+    for t, cancel in entries:
+        ev = q.push(t, lambda: None)
+        if cancel:
+            ev.cancel()
+            q.notify_cancel()
+        else:
+            live.append(ev)
+    assert len(q) == len(live)
+    popped = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        popped.append(ev)
+    assert set(id(e) for e in popped) == set(id(e) for e in live)

@@ -1,0 +1,96 @@
+"""Determinism and independence of named RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rng import RngStreams
+
+
+def test_same_seed_same_name_same_sequence():
+    a = RngStreams(7).stream("mobility")
+    b = RngStreams(7).stream("mobility")
+    assert np.array_equal(a.random(32), b.random(32))
+
+
+def test_different_names_differ():
+    s = RngStreams(7)
+    a = s.stream("mobility").random(32)
+    b = s.stream("traffic").random(32)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x").random(32)
+    b = RngStreams(2).stream("x").random(32)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached_and_continues():
+    s = RngStreams(3)
+    first = s.stream("m").random(4)
+    second = s.stream("m").random(4)
+    fresh = RngStreams(3).stream("m").random(8)
+    assert np.array_equal(np.concatenate([first, second]), fresh)
+
+
+def test_fresh_restarts_stream():
+    s = RngStreams(3)
+    a = s.fresh("m").random(8)
+    b = s.fresh("m").random(8)
+    assert np.array_equal(a, b)
+
+
+def test_creation_order_does_not_matter():
+    s1 = RngStreams(9)
+    s1.stream("a")
+    x1 = s1.stream("b").random(16)
+    s2 = RngStreams(9)
+    x2 = s2.stream("b").random(16)  # "a" never created
+    assert np.array_equal(x1, x2)
+
+
+def test_replicate_decorrelates():
+    base = RngStreams(5)
+    r0 = base.replicate(0).stream("m").random(32)
+    r1 = base.replicate(1).stream("m").random(32)
+    assert not np.array_equal(r0, r1)
+
+
+def test_replicate_is_deterministic():
+    a = RngStreams(5).replicate(3).stream("m").random(16)
+    b = RngStreams(5).replicate(3).stream("m").random(16)
+    assert np.array_equal(a, b)
+
+
+def test_replicate_negative_raises():
+    with pytest.raises(ValueError):
+        RngStreams(5).replicate(-1)
+
+
+def test_non_int_seed_raises():
+    with pytest.raises(TypeError):
+        RngStreams("abc")  # type: ignore[arg-type]
+    with pytest.raises(TypeError):
+        RngStreams(1.5)  # type: ignore[arg-type]
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.text(min_size=1, max_size=30))
+def test_property_determinism(seed, name):
+    a = RngStreams(seed).stream(name).integers(0, 1 << 30, size=8)
+    b = RngStreams(seed).stream(name).integers(0, 1 << 30, size=8)
+    assert np.array_equal(a, b)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.text(min_size=1, max_size=20),
+    st.text(min_size=1, max_size=20),
+)
+def test_property_distinct_names_independent(seed, n1, n2):
+    if n1 == n2:
+        return
+    s = RngStreams(seed)
+    a = s.fresh(n1).random(16)
+    b = s.fresh(n2).random(16)
+    assert not np.array_equal(a, b)

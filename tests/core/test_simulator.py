@@ -1,0 +1,152 @@
+"""Simulator event-loop semantics."""
+
+import pytest
+
+from repro.core import SchedulingError, Simulator
+
+
+def test_schedule_and_run_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run(until=1.5)
+    assert fired == ["a"]
+    assert sim.now == 1.5
+    sim.run(until=3.0)
+    assert fired == ["a", "b"]
+    assert sim.now == 3.0
+
+
+def test_run_drains_queue_without_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, 1)
+    sim.run()
+    assert fired == [1]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, 3)
+    sim.schedule(1.0, order.append, 1)
+    sim.schedule(2.0, order.append, 2)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.schedule(1.0, order.append, i)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_pending_event():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "x")
+    sim.cancel(ev)
+    sim.run()
+    assert fired == []
+    assert sim.pending() == 0
+
+
+def test_cancel_none_and_double_cancel_are_safe():
+    sim = Simulator()
+    sim.cancel(None)
+    ev = sim.schedule(1.0, lambda: None)
+    sim.cancel(ev)
+    sim.cancel(ev)  # second cancel must not corrupt live count
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_stop_halts_loop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    assert sim.now == 2.0
+    # Remaining event still pending and runnable.
+    sim.run()
+    assert fired == [1, 3]
+
+
+def test_clock_does_not_rewind_when_until_already_passed():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    sim.run(until=2.0)  # nothing to do; clock must not move backwards
+    assert sim.now == 5.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_reset():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.schedule(9.0, lambda: None)
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending() == 0
+    assert sim.events_processed == 0
+
+
+def test_reentrant_run_raises():
+    sim = Simulator()
+    err = {}
+
+    def reenter():
+        try:
+            sim.run()
+        except SchedulingError as e:
+            err["e"] = e
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert "e" in err

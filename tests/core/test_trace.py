@@ -1,0 +1,46 @@
+"""Tracer behaviour: gating, filtering, sinks."""
+
+from repro.core import NULL_TRACER, Tracer
+
+
+def test_disabled_category_not_recorded():
+    t = Tracer({"mac"})
+    t.log(1.0, "route", "ignored")
+    t.log(2.0, "mac", "kept")
+    assert t.records == [(2.0, "mac", "kept")]
+
+
+def test_all_categories():
+    t = Tracer("all")
+    t.log(1.0, "anything", 1, 2)
+    assert t.enabled("whatever")
+    assert t.records == [(1.0, "anything", 1, 2)]
+
+
+def test_filter_by_category():
+    t = Tracer({"a", "b"})
+    t.log(1.0, "a", 1)
+    t.log(2.0, "b", 2)
+    t.log(3.0, "a", 3)
+    assert t.filter("a") == [(1.0, "a", 1), (3.0, "a", 3)]
+
+
+def test_sink_receives_records_instead_of_storing():
+    seen = []
+    t = Tracer({"x"}, sink=seen.append)
+    t.log(0.5, "x", "payload")
+    assert seen == [(0.5, "x", "payload")]
+    assert t.records == []
+
+
+def test_clear():
+    t = Tracer({"x"})
+    t.log(0.5, "x")
+    t.clear()
+    assert t.records == []
+
+
+def test_null_tracer_is_noop():
+    NULL_TRACER.log(1.0, "mac", "dropped")
+    assert NULL_TRACER.records == []
+    assert not NULL_TRACER.enabled("mac")

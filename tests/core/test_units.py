@@ -1,0 +1,57 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import units
+
+
+def test_dbm_watt_roundtrip_known_points():
+    assert units.dbm_to_watt(0.0) == pytest.approx(1e-3)
+    assert units.dbm_to_watt(30.0) == pytest.approx(1.0)
+    assert units.watt_to_dbm(1.0) == pytest.approx(30.0)
+    assert units.watt_to_dbm(1e-3) == pytest.approx(0.0)
+
+
+def test_db_ratio_known_points():
+    assert units.db_to_ratio(0.0) == pytest.approx(1.0)
+    assert units.db_to_ratio(10.0) == pytest.approx(10.0)
+    assert units.ratio_to_db(100.0) == pytest.approx(20.0)
+
+
+def test_watt_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.watt_to_dbm(0.0)
+    with pytest.raises(ValueError):
+        units.watt_to_dbm(-1.0)
+
+
+def test_ratio_to_db_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.ratio_to_db(0.0)
+
+
+def test_bits_to_seconds():
+    assert units.bits_to_seconds(2_000_000, 2e6) == pytest.approx(1.0)
+    assert units.bytes_to_seconds(512, 2e6) == pytest.approx(512 * 8 / 2e6)
+
+
+def test_bits_to_seconds_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        units.bits_to_seconds(8, 0.0)
+
+
+@given(st.floats(min_value=-100.0, max_value=60.0))
+def test_dbm_roundtrip_property(dbm):
+    assert units.watt_to_dbm(units.dbm_to_watt(dbm)) == pytest.approx(dbm)
+
+
+@given(st.floats(min_value=-80.0, max_value=80.0))
+def test_db_roundtrip_property(db):
+    assert units.ratio_to_db(units.db_to_ratio(db)) == pytest.approx(db)
+
+
+def test_speed_of_light_magnitude():
+    assert math.isclose(units.SPEED_OF_LIGHT, 2.99792458e8)

@@ -1,0 +1,94 @@
+"""Cross-layer integration: full mobile scenarios per protocol."""
+
+import pytest
+
+from repro.scenario import ScenarioConfig, run_scenario
+
+MOBILE = dict(
+    n_nodes=20,
+    field_size=(1000.0, 300.0),
+    duration=60.0,
+    n_connections=6,
+    traffic_start_window=(0.0, 10.0),
+    max_speed=20.0,
+    pause_time=0.0,
+    seed=9,
+)
+
+
+@pytest.mark.parametrize("protocol,min_pdr", [
+    ("dsdv", 0.60),
+    ("dsr", 0.85),
+    ("aodv", 0.85),
+    ("paodv", 0.85),
+    ("cbrp", 0.75),
+    ("olsr", 0.60),
+])
+def test_mobile_delivery_floor(protocol, min_pdr):
+    """Every protocol must deliver most packets under full mobility."""
+    s = run_scenario(ScenarioConfig(protocol=protocol, **MOBILE))
+    assert s.pdr >= min_pdr, f"{protocol}: pdr={s.pdr:.3f}"
+
+
+def test_on_demand_beats_proactive_overhead_when_idle():
+    """With a single short flow, reactive protocols send almost nothing
+    while proactive ones keep beaconing — the core taxonomy claim."""
+    quiet = dict(MOBILE, n_connections=1, duration=60.0)
+    dsr = run_scenario(ScenarioConfig(protocol="dsr", **quiet))
+    dsdv = run_scenario(ScenarioConfig(protocol="dsdv", **quiet))
+    olsr = run_scenario(ScenarioConfig(protocol="olsr", **quiet))
+    assert dsr.routing_overhead_packets < dsdv.routing_overhead_packets / 2
+    assert dsr.routing_overhead_packets < olsr.routing_overhead_packets / 2
+
+
+def test_delay_includes_discovery_latency():
+    """A reactive protocol's very first packet pays route acquisition;
+    a converged proactive table does not."""
+    cfg = ScenarioConfig(
+        protocol="aodv",
+        n_nodes=12,
+        field_size=(900.0, 300.0),
+        duration=40.0,
+        n_connections=3,
+        traffic_start_window=(20.0, 25.0),
+        mobility="static",
+        seed=4,
+    )
+    aodv = run_scenario(cfg)
+    dsdv = run_scenario(cfg.with_(protocol="dsdv"))
+    if aodv.data_received and dsdv.data_received:
+        # p95 captures first-packet discovery spikes.
+        assert aodv.p95_delay >= dsdv.p95_delay * 0.5
+
+
+def test_static_connected_network_near_perfect():
+    """A dense static network is the easy case: everyone delivers."""
+    cfg = ScenarioConfig(
+        protocol="aodv",
+        n_nodes=16,
+        field_size=(800.0, 300.0),
+        duration=60.0,
+        n_connections=5,
+        traffic_start_window=(10.0, 15.0),
+        mobility="static",
+        seed=6,
+    )
+    for proto in ("dsdv", "dsr", "aodv", "cbrp", "olsr"):
+        s = run_scenario(cfg.with_(protocol=proto))
+        assert s.pdr > 0.9, f"{proto}: {s.pdr:.3f}"
+
+
+def test_hop_counts_sane():
+    s = run_scenario(ScenarioConfig(protocol="aodv", **MOBILE))
+    # Paths exist and are multi-hop on average in a 1000 m field.
+    assert 0.0 < s.avg_hops < 10.0
+
+
+def test_events_scale_linearly_enough():
+    """Guard against event-count explosions (performance regression)."""
+    from repro.scenario import build_scenario
+
+    scen = build_scenario(ScenarioConfig(protocol="aodv", **MOBILE))
+    scen.run()
+    # ~60 s, 20 nodes, 6 flows: empirical budget with headroom.
+    assert scen.sim.events_processed < 2_000_000

@@ -1,0 +1,69 @@
+"""Shared fixtures for MAC tests: a small wireless testbed builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Simulator
+from repro.mac import DcfMac, IdealMac
+from repro.mobility import MobilityManager, StaticPosition
+from repro.net import Packet, PacketKind
+from repro.phy import Channel, Radio, RadioParams, UnitDisk
+
+
+class RecordingUpper:
+    """Captures MAC upper-layer callbacks."""
+
+    def __init__(self):
+        self.delivered = []  # (packet, prev_hop, rx_power)
+        self.failures = []  # (packet, next_hop)
+        self.snooped = []  # (packet, prev_hop, mac_dst)
+
+    def deliver(self, packet, prev_hop, rx_power):
+        self.delivered.append((packet, prev_hop, rx_power))
+
+    def link_failed(self, packet, next_hop):
+        self.failures.append((packet, next_hop))
+
+    def snoop(self, packet, prev_hop, mac_dst):
+        self.snooped.append((packet, prev_hop, mac_dst))
+
+
+class Testbed:
+    """N nodes at explicit positions sharing one channel."""
+
+    __test__ = False  # helper, not a test class
+
+    def __init__(self, positions, mac="dcf", radius=250.0, seed=1, **mac_kwargs):
+        self.sim = Simulator(seed=seed)
+        self.mobility = MobilityManager([StaticPosition(x, y) for x, y in positions])
+        self.params = RadioParams()
+        self.channel = Channel(self.sim, self.mobility, UnitDisk(radius), self.params)
+        self.radios = []
+        self.macs = []
+        self.uppers = []
+        for i in range(len(positions)):
+            radio = Radio(self.sim, i, self.params)
+            self.channel.attach(radio)
+            if mac == "dcf":
+                m = DcfMac(
+                    self.sim,
+                    radio,
+                    self.sim.rng.stream(f"mac.{i}"),
+                    **mac_kwargs,
+                )
+            else:
+                m = IdealMac(self.sim, radio)
+            upper = RecordingUpper()
+            m.upper = upper
+            self.radios.append(radio)
+            self.macs.append(m)
+            self.uppers.append(upper)
+
+    def packet(self, src, dst, size=64, kind=PacketKind.DATA, proto="cbr"):
+        return Packet(kind, proto, src, dst, size, created=self.sim.now)
+
+
+@pytest.fixture
+def make_testbed():
+    return Testbed

@@ -1,0 +1,118 @@
+"""Field, Leg, and LegBasedModel machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import ConfigurationError
+from repro.mobility.base import Field, Leg, LegBasedModel
+
+
+class TestField:
+    def test_contains(self):
+        f = Field(100.0, 50.0)
+        assert f.contains(0, 0)
+        assert f.contains(100, 50)
+        assert f.contains(50, 25)
+        assert not f.contains(101, 25)
+        assert not f.contains(50, -1)
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ConfigurationError):
+            Field(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            Field(10.0, -5.0)
+
+    def test_random_point_inside(self):
+        import numpy as np
+
+        f = Field(30.0, 70.0)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            x, y = f.random_point(rng)
+            assert f.contains(x, y)
+
+    def test_diagonal(self):
+        assert Field(3.0, 4.0).diagonal == pytest.approx(5.0)
+
+
+class TestLeg:
+    def test_interpolation(self):
+        leg = Leg(10.0, 20.0, 0.0, 0.0, 100.0, 0.0)
+        assert leg.position(10.0) == (0.0, 0.0)
+        assert leg.position(15.0) == (50.0, 0.0)
+        assert leg.position(20.0) == (100.0, 0.0)
+
+    def test_clamping_outside_span(self):
+        leg = Leg(10.0, 20.0, 0.0, 0.0, 100.0, 0.0)
+        assert leg.position(5.0) == (0.0, 0.0)
+        assert leg.position(25.0) == (100.0, 0.0)
+
+    def test_speed(self):
+        leg = Leg(0.0, 10.0, 0.0, 0.0, 30.0, 40.0)
+        assert leg.speed == pytest.approx(5.0)
+
+    def test_pause_speed_zero(self):
+        leg = Leg(0.0, 10.0, 5.0, 5.0, 5.0, 5.0)
+        assert leg.speed == 0.0
+
+    def test_zero_duration_leg(self):
+        leg = Leg(1.0, 1.0, 2.0, 3.0, 2.0, 3.0)
+        assert leg.speed == 0.0
+        assert leg.position(1.0) == (2.0, 3.0)
+
+    @given(st.floats(min_value=0.0, max_value=30.0))
+    def test_position_is_on_segment(self, t):
+        leg = Leg(0.0, 30.0, 0.0, 0.0, 90.0, 30.0)
+        x, y = leg.position(t)
+        assert 0.0 <= x <= 90.0
+        assert 0.0 <= y <= 30.0
+        # Collinearity: y/x ratio fixed along the segment.
+        if x > 0:
+            assert y / x == pytest.approx(30.0 / 90.0)
+
+
+class _Stepper(LegBasedModel):
+    """Test model: 10 m east every 1 s."""
+
+    def _next_leg(self, prev):
+        return Leg(prev.t1, prev.t1 + 1.0, prev.x1, prev.y1, prev.x1 + 10.0, prev.y1)
+
+
+class _BrokenGap(LegBasedModel):
+    def _next_leg(self, prev):
+        return Leg(prev.t1 + 5.0, prev.t1 + 6.0, prev.x1, prev.y1, prev.x1, prev.y1)
+
+
+class _ZeroLoop(LegBasedModel):
+    def _next_leg(self, prev):
+        return Leg(prev.t1, prev.t1, prev.x1, prev.y1, prev.x1, prev.y1)
+
+
+class TestLegBasedModel:
+    def test_lazy_extension_and_query(self):
+        m = _Stepper(0.0, 0.0)
+        assert m.position(0.5) == (5.0, 0.0)
+        assert m.position(3.25) == (32.5, 0.0)
+
+    def test_non_monotone_queries(self):
+        m = _Stepper(0.0, 0.0)
+        assert m.position(5.0) == (50.0, 0.0)
+        assert m.position(1.0) == (10.0, 0.0)  # rewind works
+
+    def test_negative_time_clamps_to_start(self):
+        m = _Stepper(7.0, 3.0)
+        assert m.position(-2.0) == (7.0, 3.0)
+
+    def test_speed_query(self):
+        m = _Stepper(0.0, 0.0)
+        assert m.speed(0.5) == pytest.approx(10.0)
+
+    def test_discontiguous_legs_rejected(self):
+        m = _BrokenGap(0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            m.position(1.0)
+
+    def test_zero_duration_loop_detected(self):
+        m = _ZeroLoop(0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            m.position(1.0)

@@ -1,0 +1,95 @@
+"""Reference-point group mobility."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationError, RngStreams
+from repro.mobility import Field, GroupCenter, GroupMember, make_groups
+
+FIELD = Field(1000.0, 500.0)
+
+
+def rng_factory(seed=3):
+    streams = RngStreams(seed)
+    return streams.stream
+
+
+class TestGroupMember:
+    def make(self, radius=80.0, seed=1):
+        streams = RngStreams(seed)
+        center = GroupCenter(FIELD, streams.stream("c"), max_speed=10.0)
+        member = GroupMember(center, streams.stream("m"), FIELD, radius=radius)
+        return center, member
+
+    def test_member_stays_near_center(self):
+        center, member = self.make(radius=80.0)
+        for t in np.linspace(0.0, 500.0, 200):
+            cx, cy = center.position(float(t))
+            mx, my = member.position(float(t))
+            # Field clamping can only pull the member *toward* the field,
+            # so distance from the (unclamped) tether stays bounded.
+            assert np.hypot(mx - cx, my - cy) <= 80.0 * 2 + 1e-6
+
+    def test_member_stays_in_field(self):
+        center, member = self.make()
+        for t in np.linspace(0.0, 800.0, 300):
+            x, y = member.position(float(t))
+            assert FIELD.contains(x, y)
+
+    def test_offset_interpolation_continuous(self):
+        _, member = self.make()
+        for t in np.linspace(0.0, 100.0, 50):
+            x0, y0 = member.position(float(t))
+            x1, y1 = member.position(float(t) + 1e-3)
+            assert np.hypot(x1 - x0, y1 - y0) < 1.0
+
+    def test_validation(self):
+        streams = RngStreams(0)
+        center = GroupCenter(FIELD, streams.stream("c"), max_speed=5.0)
+        with pytest.raises(ConfigurationError):
+            GroupMember(center, streams.stream("m"), FIELD, radius=0.0)
+        with pytest.raises(ConfigurationError):
+            GroupMember(center, streams.stream("m"), FIELD, offset_interval=0.0)
+
+    def test_speed_indicative(self):
+        _, member = self.make()
+        s = member.speed(10.0)
+        assert 0.0 <= s < 50.0
+
+
+class TestMakeGroups:
+    def test_membership_round_robin(self):
+        members = make_groups(FIELD, rng_factory(), 10, 3, max_speed=10.0)
+        assert len(members) == 10
+        centers = {id(m.center) for m in members}
+        assert len(centers) == 3
+
+    def test_group_cohesion(self):
+        members = make_groups(FIELD, rng_factory(5), 9, 3, max_speed=10.0, radius=60.0)
+        groups = {}
+        for m in members:
+            groups.setdefault(id(m.center), []).append(m)
+        for group in groups.values():
+            xs = [m.position(100.0) for m in group]
+            spread = max(
+                np.hypot(a[0] - b[0], a[1] - b[1]) for a in xs for b in xs
+            )
+            assert spread <= 4 * 60.0  # same tether, bounded spread
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_groups(FIELD, rng_factory(), 5, 0, max_speed=10.0)
+        with pytest.raises(ConfigurationError):
+            make_groups(FIELD, rng_factory(), 5, 6, max_speed=10.0)
+
+
+class TestScenarioIntegration:
+    def test_rpgm_scenario_runs(self):
+        from repro.scenario import ScenarioConfig, run_scenario
+
+        s = run_scenario(ScenarioConfig(
+            protocol="dsr", mobility="rpgm", rpgm_groups=3, n_nodes=12,
+            field_size=(800.0, 400.0), duration=25.0, n_connections=3,
+            traffic_start_window=(0.0, 5.0), seed=4,
+        ))
+        assert s.data_sent > 0

@@ -1,0 +1,111 @@
+"""Random walk / random direction models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError, RngStreams
+from repro.mobility import Field, RandomDirection, RandomWalk
+from repro.mobility.walk import reflect
+
+FIELD = Field(500.0, 400.0)
+
+
+class TestReflect:
+    def test_inside_unchanged(self):
+        assert reflect(3.0, 10.0) == pytest.approx(3.0)
+
+    def test_single_bounce(self):
+        assert reflect(12.0, 10.0) == pytest.approx(8.0)
+        assert reflect(-2.0, 10.0) == pytest.approx(2.0)
+
+    def test_multiple_bounces(self):
+        assert reflect(23.0, 10.0) == pytest.approx(3.0)
+        assert reflect(-13.0, 10.0) == pytest.approx(7.0)
+
+    def test_bad_limit(self):
+        with pytest.raises(ConfigurationError):
+            reflect(1.0, 0.0)
+
+    @given(st.floats(-1e5, 1e5), st.floats(0.1, 1e3))
+    def test_property_in_range(self, v, lim):
+        r = reflect(v, lim)
+        assert 0.0 <= r <= lim
+
+
+class TestRandomWalk:
+    def make(self, seed=0, vmax=10.0):
+        rng = RngStreams(seed).stream("walk")
+        return RandomWalk(FIELD, rng, max_speed=vmax, min_speed=1.0, step_time=5.0)
+
+    def test_stays_in_field(self):
+        m = self.make(seed=4)
+        for t in np.linspace(0.0, 2000.0, 400):
+            x, y = m.position(float(t))
+            assert FIELD.contains(x, y), (t, x, y)
+
+    def test_speed_bounds(self):
+        m = self.make(seed=6, vmax=10.0)
+        for t in np.linspace(0.1, 500.0, 100):
+            assert 0.0 <= m.speed(float(t)) <= 10.0 + 1e-9
+
+    def test_moves(self):
+        m = self.make(seed=8)
+        assert m.position(0.0) != m.position(100.0)
+
+    def test_invalid_params(self):
+        rng = RngStreams(0).stream("w")
+        with pytest.raises(ConfigurationError):
+            RandomWalk(FIELD, rng, max_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWalk(FIELD, rng, max_speed=5.0, step_time=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWalk(FIELD, rng, max_speed=5.0, min_speed=7.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), t=st.floats(0.0, 800.0))
+    def test_property_in_field(self, seed, t):
+        m = self.make(seed=seed)
+        x, y = m.position(t)
+        assert FIELD.contains(x, y)
+
+
+class TestRandomDirection:
+    def make(self, seed=0, pause=5.0):
+        rng = RngStreams(seed).stream("dir")
+        return RandomDirection(FIELD, rng, max_speed=15.0, min_speed=1.0, pause_time=pause)
+
+    def test_stays_in_field(self):
+        m = self.make(seed=3)
+        for t in np.linspace(0.0, 2000.0, 400):
+            x, y = m.position(float(t))
+            assert FIELD.contains(x, y)
+
+    def test_legs_end_on_boundary(self):
+        m = self.make(seed=5, pause=0.0)
+        m.position(1500.0)
+        move_legs = [leg for leg in m._legs[1:] if leg.speed > 0]
+        assert move_legs
+        for leg in move_legs:
+            on_edge = (
+                leg.x1 < 1e-6
+                or abs(leg.x1 - FIELD.width) < 1e-6
+                or leg.y1 < 1e-6
+                or abs(leg.y1 - FIELD.height) < 1e-6
+            )
+            assert on_edge, (leg.x1, leg.y1)
+
+    def test_pause_between_moves(self):
+        m = self.make(seed=7, pause=5.0)
+        m.position(1000.0)
+        kinds = ["pause" if leg.speed == 0 else "move" for leg in m._legs[1:] if leg.duration > 0]
+        # Moves and pauses must alternate.
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b
+
+    def test_invalid_params(self):
+        rng = RngStreams(0).stream("d")
+        with pytest.raises(ConfigurationError):
+            RandomDirection(FIELD, rng, max_speed=-1.0)
+        with pytest.raises(ConfigurationError):
+            RandomDirection(FIELD, rng, max_speed=5.0, pause_time=-2.0)

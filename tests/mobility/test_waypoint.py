@@ -1,0 +1,115 @@
+"""Random-waypoint model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError, RngStreams
+from repro.mobility import Field, RandomWaypoint
+
+FIELD = Field(1500.0, 300.0)
+
+
+def make_model(seed=0, pause=0.0, vmax=20.0, vmin=0.0, steady=True):
+    rng = RngStreams(seed).stream("mob")
+    return RandomWaypoint(
+        FIELD, rng, max_speed=vmax, min_speed=vmin, pause_time=pause, steady_state=steady
+    )
+
+
+def test_stays_in_field():
+    m = make_model(seed=3)
+    for t in np.linspace(0.0, 2000.0, 500):
+        x, y = m.position(float(t))
+        assert FIELD.contains(x, y), (t, x, y)
+
+
+def test_speed_bounds():
+    m = make_model(seed=5, vmax=20.0, vmin=1.0, pause=0.0, steady=False)
+    for t in np.linspace(0.1, 1000.0, 200):
+        s = m.speed(float(t))
+        assert 0.0 <= s <= 20.0 + 1e-9
+
+
+def test_pause_legs_present():
+    m = make_model(seed=7, pause=30.0, steady=False)
+    m.position(2000.0)  # force leg generation
+    pauses = [leg for leg in m._legs[1:] if leg.speed == 0.0 and leg.duration > 0]
+    moves = [leg for leg in m._legs[1:] if leg.speed > 0.0]
+    assert pauses and moves
+    for p in pauses:
+        assert p.duration == pytest.approx(30.0) or p.t0 == 0.0 or p is m._legs[1]
+
+
+def test_zero_pause_never_pauses():
+    m = make_model(seed=9, pause=0.0, steady=False)
+    m.position(2000.0)
+    for leg in m._legs[1:]:
+        if leg.duration > 0:
+            assert leg.speed > 0.0
+
+
+def test_deterministic_given_same_rng_seed():
+    a = make_model(seed=11)
+    b = make_model(seed=11)
+    for t in (0.0, 10.0, 123.4, 999.0):
+        assert a.position(t) == b.position(t)
+
+
+def test_different_seeds_diverge():
+    a = make_model(seed=1)
+    b = make_model(seed=2)
+    assert a.position(100.0) != b.position(100.0)
+
+
+def test_continuity():
+    """Position is continuous: small dt -> small displacement."""
+    m = make_model(seed=13)
+    for t in np.linspace(0.0, 500.0, 100):
+        x0, y0 = m.position(float(t))
+        x1, y1 = m.position(float(t) + 1e-3)
+        assert np.hypot(x1 - x0, y1 - y0) <= 20.0 * 1e-3 + 1e-9
+
+
+def test_invalid_parameters():
+    rng = RngStreams(0).stream("m")
+    with pytest.raises(ConfigurationError):
+        RandomWaypoint(FIELD, rng, max_speed=0.0)
+    with pytest.raises(ConfigurationError):
+        RandomWaypoint(FIELD, rng, max_speed=10.0, min_speed=-1.0)
+    with pytest.raises(ConfigurationError):
+        RandomWaypoint(FIELD, rng, max_speed=10.0, min_speed=20.0)
+    with pytest.raises(ConfigurationError):
+        RandomWaypoint(FIELD, rng, max_speed=10.0, pause_time=-1.0)
+
+
+def test_steady_state_speed_no_decay():
+    """With steady-state init, mean speed over nodes is stable in time.
+
+    The classic RWP flaw is decaying average speed; Navidi-Camp init
+    should keep early and late means within a modest tolerance.
+    """
+    models = [make_model(seed=s, vmin=1.0, vmax=20.0) for s in range(60)]
+    early = np.mean([m.speed(1.0) for m in models])
+    late = np.mean([m.speed(3000.0) for m in models])
+    assert late == pytest.approx(early, rel=0.35)
+
+
+def test_high_pause_mostly_static():
+    m = make_model(seed=21, pause=10_000.0)
+    x0, y0 = m.position(0.0)
+    x1, y1 = m.position(500.0)
+    # With an enormous pause the node rarely moves within 500 s.
+    assert np.hypot(x1 - x0, y1 - y0) <= FIELD.diagonal
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    pause=st.sampled_from([0.0, 20.0, 300.0]),
+    t=st.floats(min_value=0.0, max_value=1500.0),
+)
+def test_property_always_in_field(seed, pause, t):
+    m = make_model(seed=seed, pause=pause)
+    x, y = m.position(t)
+    assert FIELD.contains(x, y)

@@ -1,0 +1,86 @@
+"""Packet model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import PacketError
+from repro.net import BROADCAST, Packet, PacketKind
+
+
+def make(kind=PacketKind.DATA, src=0, dst=1, size=64, ttl=32, **kw):
+    return Packet(kind, "cbr", src, dst, size, created=1.5, ttl=ttl, **kw)
+
+
+class TestConstruction:
+    def test_fields(self):
+        p = make()
+        assert p.src == 0 and p.dst == 1
+        assert p.size == 64 and p.ttl == 32
+        assert p.hops == 0 and p.created == 1.5
+        assert p.salvage == 0
+
+    def test_uid_unique_and_origin_matches(self):
+        a, b = make(), make()
+        assert a.uid != b.uid
+        assert a.origin_uid == a.uid
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(PacketError):
+            make(size=-1)
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(PacketError):
+            make(ttl=-1)
+
+    def test_broadcast_flag(self):
+        assert make(dst=BROADCAST).is_broadcast
+        assert not make(dst=5).is_broadcast
+
+    def test_is_data(self):
+        assert make().is_data
+        assert not make(kind=PacketKind.CONTROL).is_data
+
+
+class TestTtl:
+    def test_decrement(self):
+        p = make(ttl=2)
+        p.decrement_ttl()
+        assert p.ttl == 1 and p.hops == 1
+
+    def test_expiry_raises(self):
+        p = make(ttl=0)
+        with pytest.raises(PacketError):
+            p.decrement_ttl()
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_property_ttl_plus_hops_invariant(self, ttl):
+        p = make(ttl=ttl)
+        total = p.ttl + p.hops
+        for _ in range(ttl):
+            p.decrement_ttl()
+            assert p.ttl + p.hops == total
+        with pytest.raises(PacketError):
+            p.decrement_ttl()
+
+
+class TestCopy:
+    def test_copy_preserves_origin_and_payload(self):
+        payload = object()
+        p = make(payload=payload, route=[0, 1, 2])
+        p.decrement_ttl()
+        p.salvage = 1
+        c = p.copy()
+        assert c.uid != p.uid
+        assert c.origin_uid == p.origin_uid == p.uid
+        assert c.payload is payload
+        assert c.ttl == p.ttl and c.hops == p.hops
+        assert c.salvage == 1
+
+    def test_copy_route_is_independent(self):
+        p = make(route=[0, 1, 2])
+        c = p.copy()
+        c.route.append(9)
+        assert p.route == [0, 1, 2]
+
+    def test_copy_without_route(self):
+        assert make().copy().route is None

@@ -1,0 +1,69 @@
+"""Spatial index correctness against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError
+from repro.phy import SpatialIndex
+
+
+def brute(positions, x, y, r):
+    d = np.hypot(positions[:, 0] - x, positions[:, 1] - y)
+    return set(np.nonzero(d <= r)[0].tolist())
+
+
+def test_basic_query():
+    pos = np.array([[0.0, 0.0], [10.0, 0.0], [100.0, 0.0]])
+    idx = SpatialIndex(cell_size=50.0)
+    idx.rebuild(pos)
+    assert set(idx.query_radius(0.0, 0.0, 15.0)) == {0, 1}
+
+
+def test_point_on_radius_included():
+    pos = np.array([[0.0, 0.0], [10.0, 0.0]])
+    idx = SpatialIndex(cell_size=5.0)
+    idx.rebuild(pos)
+    assert set(idx.query_radius(0.0, 0.0, 10.0)) == {0, 1}
+
+
+def test_query_before_rebuild_raises():
+    idx = SpatialIndex(cell_size=10.0)
+    with pytest.raises(ConfigurationError):
+        idx.query_radius(0, 0, 5)
+
+
+def test_negative_radius_raises():
+    idx = SpatialIndex(cell_size=10.0)
+    idx.rebuild(np.zeros((1, 2)))
+    with pytest.raises(ConfigurationError):
+        idx.query_radius(0, 0, -1.0)
+
+
+def test_bad_cell_size():
+    with pytest.raises(ConfigurationError):
+        SpatialIndex(cell_size=0.0)
+
+
+def test_rebuild_replaces_contents():
+    idx = SpatialIndex(cell_size=10.0)
+    idx.rebuild(np.array([[0.0, 0.0]]))
+    idx.rebuild(np.array([[100.0, 100.0]]))
+    assert idx.query_radius(0.0, 0.0, 5.0) == []
+    assert idx.query_radius(100.0, 100.0, 5.0) == [0]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 120),
+    radius=st.floats(min_value=1.0, max_value=600.0),
+    cell=st.floats(min_value=10.0, max_value=500.0),
+)
+def test_property_matches_brute_force(seed, n, radius, cell):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0.0, 1500.0, size=(n, 2))
+    qx, qy = rng.uniform(0.0, 1500.0, size=2)
+    idx = SpatialIndex(cell_size=cell)
+    idx.rebuild(pos)
+    assert set(idx.query_radius(qx, qy, radius)) == brute(pos, qx, qy, radius)

@@ -1,0 +1,125 @@
+"""Flooding and oracle baselines + base-class plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.net import BROADCAST
+from repro.routing.flooding import Flooding
+from repro.routing.oracle import OracleRouting, shortest_hop_path
+from tests.routing.conftest import collect_deliveries, make_static_network
+
+CHAIN5 = [(0, 0), (200, 0), (400, 0), (600, 0), (800, 0)]
+
+
+def flooding_factory(sim, node_id, mac, rng):
+    return Flooding(sim, node_id, mac, rng)
+
+
+class TestShortestHopPath:
+    def test_direct(self):
+        pos = np.array([[0.0, 0.0], [100.0, 0.0]])
+        assert shortest_hop_path(pos, 0, 1, 250.0) == [0, 1]
+
+    def test_chain(self):
+        pos = np.array(CHAIN5, dtype=float)
+        assert shortest_hop_path(pos, 0, 4, 250.0) == [0, 1, 2, 3, 4]
+
+    def test_partitioned(self):
+        pos = np.array([[0.0, 0.0], [1000.0, 0.0]])
+        assert shortest_hop_path(pos, 0, 1, 250.0) is None
+
+    def test_self(self):
+        pos = np.array(CHAIN5, dtype=float)
+        assert shortest_hop_path(pos, 2, 2, 250.0) == [2]
+
+    def test_prefers_fewer_hops(self):
+        # Diamond: 0-1-3 and 0-2a-2b-3; 2-hop route must win.
+        pos = np.array([[0, 0], [200, 0], [100, 100], [250, 100], [400, 0]], dtype=float)
+        path = shortest_hop_path(pos, 0, 4, 250.0)
+        assert path == [0, 1, 4]
+
+
+class TestFlooding:
+    def test_multi_hop_delivery(self):
+        sim, net = make_static_network(CHAIN5, flooding_factory, mac="dcf")
+        log = collect_deliveries(net)
+        net.nodes[0].send(4, 64)
+        sim.run(until=5.0)
+        assert [(nid, p.src) for nid, p, _ in log] == [(4, 0)]
+
+    def test_duplicate_suppression(self):
+        # Dense clique: every node rebroadcasts at most once.
+        positions = [(0, 0), (50, 0), (0, 50), (50, 50)]
+        sim, net = make_static_network(positions, flooding_factory, mac="dcf")
+        log = collect_deliveries(net)
+        net.nodes[0].send(3, 64)
+        sim.run(until=5.0)
+        assert len(log) == 1
+        total_tx = sum(n.routing.stats.data_forwarded for n in net.nodes)
+        assert total_tx <= len(positions)  # each node forwards <= once
+
+    def test_broadcast_data_delivered_everywhere(self):
+        sim, net = make_static_network(CHAIN5, flooding_factory, mac="dcf")
+        log = collect_deliveries(net)
+        net.nodes[2].send(BROADCAST, 32)
+        sim.run(until=5.0)
+        assert sorted(nid for nid, _, _ in log) == [0, 1, 3, 4]
+
+    def test_partition_blocks_delivery(self):
+        sim, net = make_static_network([(0, 0), (1000, 0)], flooding_factory)
+        log = collect_deliveries(net)
+        net.nodes[0].send(1, 64)
+        sim.run(until=5.0)
+        assert log == []
+
+    def test_no_control_overhead(self):
+        sim, net = make_static_network(CHAIN5, flooding_factory)
+        net.nodes[0].send(4, 64)
+        sim.run(until=5.0)
+        assert all(n.routing.stats.control_packets == 0 for n in net.nodes)
+
+
+class TestOracle:
+    def make(self, positions, mac="dcf", seed=1):
+        holder = {}
+
+        def factory(sim, node_id, mac_layer, rng):
+            r = OracleRouting(sim, node_id, mac_layer, rng, radio_range=250.0)
+            holder.setdefault("agents", []).append(r)
+            return r
+
+        sim, net = make_static_network(positions, factory, mac=mac, seed=seed)
+        for agent in holder["agents"]:
+            agent.mobility = net.mobility
+        return sim, net
+
+    def test_multi_hop_unicast(self):
+        sim, net = self.make(CHAIN5)
+        log = collect_deliveries(net)
+        net.nodes[0].send(4, 64)
+        sim.run(until=5.0)
+        assert [(nid, p.hops) for nid, p, _ in log] == [(4, 3)]  # 3 forwards on a 4-link path
+
+    def test_no_route_counts_drop(self):
+        sim, net = self.make([(0, 0), (1000, 0)])
+        log = collect_deliveries(net)
+        net.nodes[0].send(1, 64)
+        sim.run(until=5.0)
+        assert log == []
+        assert net.nodes[0].routing.stats.drops_no_route == 1
+
+    def test_intermediate_forwards(self):
+        sim, net = self.make(CHAIN5)
+        collect_deliveries(net)
+        net.nodes[0].send(4, 64)
+        sim.run(until=5.0)
+        assert net.nodes[1].routing.stats.data_forwarded == 1
+        assert net.nodes[2].routing.stats.data_forwarded == 1
+
+    def test_ttl_exhaustion_dropped(self):
+        sim, net = self.make(CHAIN5)
+        log = collect_deliveries(net)
+        net.nodes[0].send(4, 64, ttl=2)  # needs 4 hops
+        sim.run(until=5.0)
+        assert log == []
+        assert any(n.routing.stats.drops_ttl == 1 for n in net.nodes)

@@ -1,0 +1,94 @@
+"""DSDV advertisement mechanics."""
+
+import math
+
+from repro.routing.dsdv import ENTRY_SIZE, HEADER_SIZE, Dsdv, DsdvRoute, _Advert
+from tests.routing.conftest import make_static_network
+
+
+def make_agent(seed=1):
+    sim, net = make_static_network(
+        [(0, 0), (150, 0)],
+        lambda s, n, m, r: Dsdv(s, n, m, r),
+        mac="ideal",
+        seed=seed,
+    )
+    return sim, net.nodes[0].routing
+
+
+class TestAdvertisements:
+    def test_full_dump_contains_self_and_table(self):
+        sim, agent = make_agent()
+        agent.table[5] = DsdvRoute(5, 1, 2, 10)
+        agent.table[6] = DsdvRoute(6, 1, 3, 12)
+        before = agent.stats.control_bytes
+        agent._broadcast_update(full=True)
+        sent = agent.stats.control_bytes - before
+        assert sent == HEADER_SIZE + 3 * ENTRY_SIZE  # self + 2 routes
+
+    def test_own_seq_even_and_increasing(self):
+        sim, agent = make_agent()
+        s0 = agent.seq
+        agent._broadcast_update(full=True)
+        agent._broadcast_update(full=True)
+        assert agent.seq == s0 + 4
+        assert agent.seq % 2 == 0
+
+    def test_incremental_dump_only_changed(self):
+        sim, agent = make_agent()
+        agent.table[5] = DsdvRoute(5, 1, 2, 10, changed=True)
+        agent.table[6] = DsdvRoute(6, 1, 3, 12, changed=False)
+        before = agent.stats.control_bytes
+        agent._broadcast_update(full=False)
+        sent = agent.stats.control_bytes - before
+        assert sent == HEADER_SIZE + 2 * ENTRY_SIZE  # self + the changed one
+
+    def test_changed_flags_cleared_after_dump(self):
+        sim, agent = make_agent()
+        agent.table[5] = DsdvRoute(5, 1, 2, 10, changed=True)
+        agent._broadcast_update(full=False)
+        assert not agent.table[5].changed
+
+    def test_empty_trigger_suppressed(self):
+        sim, agent = make_agent()
+        # Advance past t=0 (periodic updates run forever, so bound the run).
+        sim.run(until=1.0)
+        before = agent.stats.control_packets
+        agent._broadcast_update(full=False)  # nothing changed
+        assert agent.stats.control_packets == before
+
+    def test_trigger_coalescing(self):
+        sim, agent = make_agent()
+        agent._schedule_trigger()
+        agent._schedule_trigger()
+        agent._schedule_trigger()
+        assert agent._trigger_pending
+        pending_before = sim.pending()
+        agent._schedule_trigger()
+        assert sim.pending() == pending_before  # no extra event
+
+
+class TestInvalidationDetails:
+    def test_link_failed_purges_mac_queue(self):
+        sim, agent = make_agent()
+        agent.table[5] = DsdvRoute(5, 1, 2, 10)
+        from repro.net import Packet, PacketKind
+
+        stuck = Packet(PacketKind.DATA, "cbr", 0, 5, 64, created=0.0)
+        agent.mac.ifq.push(stuck, 1)
+        agent.link_failed(None, next_hop=1)
+        assert agent.mac.ifq.is_empty
+
+    def test_broken_routes_advertised_with_infinity(self):
+        sim, agent = make_agent()
+        agent.table[5] = DsdvRoute(5, 1, 2, 10)
+        agent.link_failed(None, next_hop=1)
+        route = agent.table[5]
+        assert math.isinf(route.metric)
+        assert route.changed  # queued for the next triggered update
+
+    def test_unknown_destination_infinite_advert_ignored(self):
+        sim, agent = make_agent()
+        pkt = agent.make_control(_Advert([(9, math.inf, 11)]), 20)
+        agent.on_control(pkt, prev_hop=1, rx_power=1.0)
+        assert 9 not in agent.table

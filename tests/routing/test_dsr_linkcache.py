@@ -1,0 +1,107 @@
+"""DSR link cache variant."""
+
+import pytest
+
+from repro.routing.dsr import Dsr
+from repro.routing.dsr_cache import LinkCache
+from tests.routing.conftest import collect_deliveries, make_static_network
+
+CHAIN4 = [(0, 0), (200, 0), (400, 0), (600, 0)]
+
+
+class TestLinkCacheUnit:
+    def test_add_and_get(self):
+        c = LinkCache(owner=0)
+        c.add((0, 1, 2, 3), now=0.0)
+        assert c.get(3, 1.0) == (0, 1, 2, 3)
+
+    def test_composes_paths_from_separate_routes(self):
+        """The link cache's superpower: links from two different routes
+        compose into a path no packet ever carried."""
+        c = LinkCache(owner=0)
+        c.add((0, 1, 2), now=0.0)
+        c.add((5, 2, 7), now=0.0)  # links usable regardless of root
+        assert c.get(7, 1.0) == (0, 1, 2, 7)
+
+    def test_path_cache_cannot_compose(self):
+        from repro.routing.dsr import RouteCache
+
+        c = RouteCache(owner=0)
+        c.add((0, 1, 2), now=0.0)
+        c.add((5, 2, 7), now=0.0)  # rejected: not rooted at the owner
+        assert c.get(7, 1.0) is None
+
+    def test_shortest_path_chosen(self):
+        c = LinkCache(owner=0)
+        c.add((0, 1, 2, 9), now=0.0)
+        c.add((0, 9), now=0.0)
+        assert c.get(9, 1.0) == (0, 9)
+
+    def test_remove_link(self):
+        c = LinkCache(owner=0)
+        c.add((0, 1, 2), now=0.0)
+        c.remove_link(1, 2)
+        assert c.get(2, 1.0) is None
+        assert c.get(1, 1.0) == (0, 1)
+
+    def test_per_link_expiry(self):
+        c = LinkCache(owner=0, lifetime=10.0)
+        c.add((0, 1), now=0.0)
+        c.add((1, 2), now=8.0)
+        # At t=11 link 0-1 expired, so no route at all.
+        assert c.get(2, 11.0) is None
+        assert c.get(2, 9.0) == (0, 1, 2)
+
+    def test_refresh_extends_expiry(self):
+        c = LinkCache(owner=0, lifetime=10.0)
+        c.add((0, 1), now=0.0)
+        c.add((0, 1), now=8.0)
+        assert c.get(1, 15.0) == (0, 1)
+
+    def test_owner_self_query(self):
+        c = LinkCache(owner=0)
+        c.add((0, 1), now=0.0)
+        assert c.get(0, 1.0) is None
+
+    def test_max_links_evicts_stalest(self):
+        c = LinkCache(owner=0, max_links=3)
+        for i, t in enumerate([0.0, 1.0, 2.0, 3.0]):
+            c.add((100 + i, 200 + i), now=t)
+        assert len(c) == 3
+
+    def test_loop_path_rejected(self):
+        c = LinkCache(owner=0)
+        c.add((0, 1, 0), now=0.0)
+        assert len(c) == 0
+
+    def test_purge_expired(self):
+        c = LinkCache(owner=0, lifetime=5.0)
+        c.add((0, 1), now=0.0)
+        c.add((0, 2), now=10.0)
+        c.purge_expired(now=7.0)
+        assert len(c) == 1
+
+
+class TestDsrOverLinkCache:
+    def make_net(self, **kwargs):
+        return make_static_network(
+            CHAIN4,
+            lambda s, n, m, r: Dsr(s, n, m, r, cache_kind="link", **kwargs),
+            mac="dcf",
+            mac_kwargs={"promiscuous": True},
+        )
+
+    def test_delivery_works(self):
+        sim, net = self.make_net()
+        log = collect_deliveries(net)
+        net.nodes[0].send(3, 64)
+        sim.run(until=10.0)
+        assert len(log) == 1
+        assert log[0][1].route == [0, 1, 2, 3]
+
+    def test_unknown_cache_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_static_network(
+                CHAIN4,
+                lambda s, n, m, r: Dsr(s, n, m, r, cache_kind="hash"),
+            )

@@ -1,0 +1,89 @@
+"""Cross-validate graph computations against networkx.
+
+The oracle's lexicographic Dijkstra and OLSR's BFS routing are both
+hand-rolled for speed; networkx provides an independent reference
+implementation to check them against on random geometric graphs.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing.oracle import shortest_hop_path
+
+
+def build_graph(positions, radio_range):
+    g = nx.Graph()
+    g.add_nodes_from(range(len(positions)))
+    for i in range(len(positions)):
+        for j in range(i + 1, len(positions)):
+            if np.hypot(*(positions[i] - positions[j])) <= radio_range:
+                g.add_edge(i, j)
+    return g
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    n=st.integers(2, 30),
+    radio_range=st.floats(min_value=100.0, max_value=500.0),
+)
+def test_oracle_hop_count_matches_networkx(seed, n, radio_range):
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, 1000.0, size=(n, 2))
+    g = build_graph(positions, radio_range)
+    src, dst = 0, n - 1
+    ours = shortest_hop_path(positions, src, dst, radio_range)
+    try:
+        ref_len = nx.shortest_path_length(g, src, dst)
+    except nx.NetworkXNoPath:
+        assert ours is None
+        return
+    assert ours is not None
+    assert len(ours) - 1 == ref_len
+    # And the returned path must be valid in the graph.
+    for a, b in zip(ours, ours[1:]):
+        assert g.has_edge(a, b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2000), n=st.integers(3, 20))
+def test_olsr_route_distances_match_networkx(seed, n):
+    """Feed OLSR a synthetic converged topology; its BFS distances must
+    equal networkx's shortest paths on the same graph."""
+    from repro.routing.olsr import Olsr
+    from tests.routing.conftest import make_static_network
+
+    rng = np.random.default_rng(seed)
+    # Random connected-ish unit-disk graph as ground truth.
+    positions = rng.uniform(0.0, 800.0, size=(n, 2))
+    g = build_graph(positions, 300.0)
+
+    sim, net = make_static_network(
+        [(0, 0), (150, 0)], lambda s, nid, m, r: Olsr(s, nid, m, r), mac="ideal"
+    )
+    agent = net.nodes[0].routing  # addr 0
+
+    # Inject neighbor + topology state directly (synthetic convergence).
+    now = sim.now
+    for nbr in g.neighbors(0):
+        e = agent.neighbors.heard(int(nbr), now, bidirectional=True)
+        e.meta["twohop"] = {int(x) for x in g.neighbors(nbr) if x != 0}
+    for u in g.nodes:
+        if u == 0:
+            continue
+        sels = {int(x) for x in g.neighbors(u)}
+        agent.topology[int(u)] = (1, sels, now + 100.0)
+    agent._dirty = True
+
+    lengths = nx.single_source_shortest_path_length(g, 0)
+    for dst in g.nodes:
+        if dst == 0:
+            continue
+        ours = agent.route_distance(int(dst))
+        ref = lengths.get(dst)
+        if ref is None:
+            assert ours is None
+        else:
+            assert ours == ref, f"dst={dst}: ours={ours} ref={ref}"

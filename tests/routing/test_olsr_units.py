@@ -1,0 +1,79 @@
+"""OLSR unit-level details: hello contents, selector sets, route cache."""
+
+from repro.routing.olsr import ASYM, MPR, SYM, Olsr, OlsrHello
+from tests.routing.conftest import make_static_network
+
+
+def make_agent(positions=((0, 0), (150, 0)), idx=0):
+    sim, net = make_static_network(
+        list(positions), lambda s, n, m, r: Olsr(s, n, m, r), mac="ideal"
+    )
+    return sim, net, net.nodes[idx].routing
+
+
+class TestHelloContents:
+    def test_asym_neighbor_advertised_as_asym(self):
+        sim, net, agent = make_agent()
+        agent.neighbors.heard(1, sim.now, bidirectional=False)
+        agent._hello_tick()
+        # Inspect what went on the wire via the mac queue/stats.
+        assert agent.stats.control_packets == 1
+
+    def test_mpr_link_code_in_hello(self):
+        sim, net, agent = make_agent()
+        e = agent.neighbors.heard(1, sim.now, bidirectional=True)
+        e.meta["twohop"] = {9}
+        agent._select_mprs()
+        assert agent.mpr_set == {1}
+        # Craft the hello the way _hello_tick does and check codes.
+        codes = {}
+        for entry in agent.neighbors.alive_entries(sim.now):
+            if not entry.bidirectional:
+                codes[entry.addr] = ASYM
+            elif entry.addr in agent.mpr_set:
+                codes[entry.addr] = MPR
+            else:
+                codes[entry.addr] = SYM
+        assert codes[1] == MPR
+
+    def test_selector_set_from_hello(self):
+        sim, net, agent = make_agent()
+        hello = OlsrHello(neighbors={agent.addr: MPR})
+        agent._on_hello(hello, prev_hop=1)
+        assert agent.mpr_selectors() == {1}
+
+    def test_non_selector_hello(self):
+        sim, net, agent = make_agent()
+        hello = OlsrHello(neighbors={agent.addr: SYM})
+        agent._on_hello(hello, prev_hop=1)
+        assert agent.mpr_selectors() == set()
+
+
+class TestRouteRecompute:
+    def test_dirty_flag_recomputes_lazily(self):
+        sim, net, agent = make_agent()
+        e = agent.neighbors.heard(1, sim.now, bidirectional=True)
+        e.meta["twohop"] = {5}
+        agent._dirty = True
+        assert agent.route_distance(5) == 2
+        # Mutating without dirty flag: stale answer retained (lazy).
+        agent.neighbors.remove(1)
+        assert agent.route_distance(5) == 2
+        agent._dirty = True
+        assert agent.route_distance(5) is None
+
+    def test_link_failed_marks_dirty_and_removes(self):
+        sim, net, agent = make_agent()
+        agent.neighbors.heard(1, sim.now, bidirectional=True)
+        agent._dirty = True
+        assert agent.route_distance(1) == 1
+        agent.link_failed(None, 1)
+        assert agent.route_distance(1) is None
+
+    def test_expired_topology_pruned_in_compute(self):
+        sim, net, agent = make_agent()
+        agent.neighbors.heard(1, sim.now, bidirectional=True)
+        agent.topology[1] = (1, {7}, sim.now - 1.0)  # already expired
+        agent._dirty = True
+        assert agent.route_distance(7) is None
+        assert 1 not in agent.topology  # pruned during compute

@@ -1,0 +1,85 @@
+"""Config/result persistence."""
+
+import csv
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.scenario import ScenarioConfig, run_replications, run_sweep
+from repro.scenario.io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+    summaries_to_csv,
+    sweep_to_csv,
+)
+
+SMALL = dict(
+    n_nodes=8, field_size=(500.0, 300.0), duration=15.0,
+    n_connections=2, traffic_start_window=(0.0, 3.0),
+)
+
+
+class TestConfigRoundtrip:
+    def test_dict_roundtrip_identity(self):
+        cfg = ScenarioConfig(protocol="dsr", pause_time=30.0, trace=("route",))
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_file_roundtrip(self, tmp_path):
+        cfg = ScenarioConfig(protocol="cbrp", n_nodes=17, seed=99)
+        path = tmp_path / "scenario.json"
+        save_config(cfg, path)
+        assert load_config(path) == cfg
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"protocoll": "aodv"})
+
+    def test_loaded_config_reproduces_run(self, tmp_path):
+        from repro.scenario import run_scenario
+
+        cfg = ScenarioConfig(protocol="aodv", seed=5, **SMALL)
+        path = tmp_path / "c.json"
+        save_config(cfg, path)
+        a = run_scenario(cfg)
+        b = run_scenario(load_config(path))
+        assert a.data_received == b.data_received
+        assert a.avg_delay == b.avg_delay
+
+
+class TestCsvExport:
+    def test_summaries_csv(self, tmp_path):
+        cfg = ScenarioConfig(protocol="aodv", seed=2, **SMALL)
+        summaries = run_replications(cfg, 2)
+        path = tmp_path / "out.csv"
+        summaries_to_csv(summaries, path)
+        rows = list(csv.DictReader(open(path)))
+        assert len(rows) == 2
+        assert rows[0]["protocol"] == "aodv"
+        assert float(rows[0]["pdr"]) <= 1.0
+
+    def test_extra_columns(self, tmp_path):
+        cfg = ScenarioConfig(protocol="aodv", seed=2, **SMALL)
+        summaries = run_replications(cfg, 2)
+        path = tmp_path / "out.csv"
+        summaries_to_csv(summaries, path, extra={"label": ["a", "b"]})
+        rows = list(csv.DictReader(open(path)))
+        assert [r["label"] for r in rows] == ["a", "b"]
+
+    def test_extra_length_mismatch(self, tmp_path):
+        cfg = ScenarioConfig(protocol="aodv", seed=2, **SMALL)
+        summaries = run_replications(cfg, 2)
+        with pytest.raises(ConfigurationError):
+            summaries_to_csv(summaries, tmp_path / "x.csv", extra={"label": ["a"]})
+
+    def test_sweep_csv(self, tmp_path):
+        base = ScenarioConfig(seed=3, **SMALL)
+        result = run_sweep(base, "pause_time", [0.0, 10.0], ["aodv"],
+                           replications=2, processes=1)
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(result, path)
+        rows = list(csv.DictReader(open(path)))
+        assert len(rows) == 4  # 2 values x 2 replications
+        assert {r["pause_time"] for r in rows} == {"0.0", "10.0"}
+        assert {r["replication"] for r in rows} == {"0", "1"}

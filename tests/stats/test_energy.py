@@ -1,0 +1,83 @@
+"""Energy accounting."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.scenario import ScenarioConfig, build_scenario
+from repro.stats.energy import EnergyParams, account_energy
+
+SMALL = dict(
+    n_nodes=10,
+    field_size=(600.0, 300.0),
+    duration=30.0,
+    n_connections=3,
+    traffic_start_window=(0.0, 5.0),
+    seed=3,
+)
+
+
+def run(protocol="aodv", **kw):
+    cfg = ScenarioConfig(protocol=protocol, **{**SMALL, **kw})
+    scen = build_scenario(cfg)
+    summary = scen.run()
+    return scen, summary
+
+
+class TestEnergyParams:
+    def test_defaults(self):
+        p = EnergyParams()
+        assert p.tx_power_w > p.rx_power_w > p.idle_power_w
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyParams(tx_power_w=-1.0)
+        with pytest.raises(ConfigurationError):
+            EnergyParams(tx_power_w=0.1, rx_power_w=0.4)
+
+
+class TestAccounting:
+    def test_idle_network_burns_idle_only(self):
+        cfg = ScenarioConfig(protocol="dsr", **{**SMALL, "n_connections": 1,
+                                                "traffic_start_window": (25.0, 29.0)})
+        scen = build_scenario(cfg)
+        # Don't start traffic or routing: the net stays silent.
+        scen.sim.run(until=cfg.duration)
+        report = account_energy(scen.network, cfg.duration)
+        expected = cfg.duration * EnergyParams().idle_power_w * cfg.n_nodes
+        assert report.total_joules == pytest.approx(expected, rel=1e-6)
+        assert report.tx_joules == 0.0
+
+    def test_active_network_burns_more(self):
+        scen, summary = run("dsdv")
+        report = account_energy(scen.network, SMALL["duration"])
+        idle_only = SMALL["duration"] * EnergyParams().idle_power_w * SMALL["n_nodes"]
+        assert report.total_joules > idle_only
+        assert report.tx_joules > 0 and report.rx_joules > 0
+
+    def test_per_node_sums_to_total(self):
+        scen, _ = run("aodv")
+        report = account_energy(scen.network, SMALL["duration"])
+        assert sum(report.per_node_joules) == pytest.approx(report.total_joules)
+
+    def test_proactive_costs_more_than_reactive_when_quiet(self):
+        quiet = {**SMALL, "n_connections": 1, "duration": 60.0}
+        scen_dsr, _ = run("dsr", **{k: v for k, v in quiet.items() if k != "duration"},
+                          duration=60.0)
+        scen_dsdv, _ = run("dsdv", **{k: v for k, v in quiet.items() if k != "duration"},
+                           duration=60.0)
+        e_dsr = account_energy(scen_dsr.network, 60.0)
+        e_dsdv = account_energy(scen_dsdv.network, 60.0)
+        assert e_dsdv.tx_joules > e_dsr.tx_joules
+
+    def test_joules_per_delivered(self):
+        scen, summary = run("aodv")
+        report = account_energy(scen.network, SMALL["duration"])
+        if summary.data_received:
+            jpp = report.joules_per_delivered(summary.data_received)
+            assert 0 < jpp < report.total_joules
+        assert report.joules_per_delivered(0) == float("inf")
+
+    def test_bad_duration(self):
+        scen, _ = run("aodv")
+        with pytest.raises(ConfigurationError):
+            account_energy(scen.network, 0.0)

@@ -1,0 +1,92 @@
+"""Trace writing + offline analysis, cross-validated against the
+online MetricsCollector (the ns-2 post-processing pipeline)."""
+
+import pytest
+
+from repro.scenario import ScenarioConfig, build_scenario
+from repro.stats.tracefile import TraceAnalyzer, TraceWriter, analyze_trace
+
+SMALL = dict(
+    n_nodes=12,
+    field_size=(700.0, 300.0),
+    duration=40.0,
+    n_connections=4,
+    traffic_start_window=(0.0, 5.0),
+    seed=8,
+)
+
+
+def run_traced(protocol="aodv", **kw):
+    cfg = ScenarioConfig(protocol=protocol, **{**SMALL, **kw})
+    scen = build_scenario(cfg)
+    writer = TraceWriter(scen.network)
+    for src in scen.sources:
+        original = src.on_send
+
+        def chained(pkt, _orig=original):
+            _orig(pkt)
+            writer.on_send(pkt)
+
+        src.on_send = chained
+    summary = scen.run()
+    return summary, analyze_trace(writer.getvalue()), writer.getvalue()
+
+
+class TestCrossValidation:
+    def test_counts_match_collector(self):
+        summary, offline, _ = run_traced("aodv")
+        assert offline.data_sent == summary.data_sent
+        assert offline.data_received == summary.data_received
+        assert offline.control_transmissions == summary.routing_overhead_packets
+        assert offline.control_bytes == summary.routing_overhead_bytes
+
+    def test_derived_metrics_match(self):
+        summary, offline, _ = run_traced("dsdv")
+        assert offline.pdr == pytest.approx(summary.pdr)
+        assert offline.avg_delay == pytest.approx(summary.avg_delay, abs=1e-9)
+        assert offline.normalized_routing_load == pytest.approx(
+            summary.normalized_routing_load
+        )
+
+    @pytest.mark.parametrize("protocol", ["dsr", "cbrp", "olsr"])
+    def test_other_protocols_consistent(self, protocol):
+        summary, offline, _ = run_traced(protocol)
+        assert offline.data_received == summary.data_received
+        assert offline.control_transmissions == summary.routing_overhead_packets
+
+
+class TestTraceFormat:
+    def test_lines_well_formed(self):
+        _, _, text = run_traced("aodv")
+        for line in text.splitlines():
+            parts = line.split()
+            assert parts[0] in ("s", "r")
+            assert parts[3] in ("AGT", "RTR")
+            float(parts[1])  # time parses
+
+    def test_receive_lines_carry_provenance(self):
+        _, _, text = run_traced("aodv")
+        recv = [ln for ln in text.splitlines() if ln.startswith("r")]
+        assert recv
+        parts = recv[0].split()
+        assert len(parts) == 10  # src, created, hops appended
+
+    def test_analyzer_ignores_garbage(self):
+        a = TraceAnalyzer()
+        a.feed_line("")
+        a.feed_line("# comment")
+        a.feed_line("x 1.0 2")
+        assert a.data_sent == 0
+
+    def test_duplicate_receive_counted_once(self):
+        a = TraceAnalyzer()
+        a.feed_line("s 1.0 0 AGT 7 cbr 64")
+        a.feed_line("r 2.0 1 AGT 7 cbr 64 0 1.0 2")
+        a.feed_line("r 2.5 1 AGT 7 cbr 64 0 1.0 2")
+        assert a.data_received == 1
+
+    def test_empty_trace_metrics(self):
+        a = analyze_trace("")
+        assert a.pdr == 0.0
+        assert a.avg_delay == 0.0
+        assert a.normalized_routing_load == 0.0

@@ -1,0 +1,81 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = [
+    "--nodes", "10", "--field", "600", "300", "--duration", "20",
+    "--sources", "3", "--seed", "2",
+]
+
+
+def test_run_command(capsys):
+    assert main(["run", "--protocol", "aodv", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "AODV results" in out
+    assert "packet delivery ratio" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--protocols", "dsdv", "aodv", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "dsdv" in out and "aodv" in out
+    assert "normalized routing load" in out
+
+
+def test_sweep_command(capsys):
+    assert main([
+        "sweep", "--param", "pause_time", "--values", "0", "20",
+        "--protocols", "aodv", "--metric", "pdr", "--processes", "1", *FAST,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pdr vs pause_time" in out
+
+
+def test_sweep_integer_param(capsys):
+    assert main([
+        "sweep", "--param", "n_nodes", "--values", "8", "12",
+        "--protocols", "aodv", "--processes", "1", *FAST,
+    ]) == 0
+    assert "n_nodes" in capsys.readouterr().out
+
+
+def test_protocols_command(capsys):
+    assert main(["protocols"]) == 0
+    out = capsys.readouterr().out
+    for name in ("dsdv", "dsr", "aodv", "paodv", "cbrp", "olsr"):
+        assert name in out
+
+
+def test_unknown_protocol_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--protocol", "rip"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_no_rtscts_flag(capsys):
+    assert main(["run", "--protocol", "aodv", "--no-rtscts", *FAST]) == 0
+
+
+def test_save_and_reload_config(tmp_path, capsys):
+    cfg_path = tmp_path / "scn.json"
+    assert main(["run", "--protocol", "aodv", "--save-config", str(cfg_path), *FAST]) == 0
+    assert cfg_path.exists()
+    assert main(["run", "--protocol", "dsdv", "--config", str(cfg_path)]) == 0
+    out = capsys.readouterr().out
+    assert "DSDV results" in out
+
+
+def test_sweep_csv_export(tmp_path, capsys):
+    csv_path = tmp_path / "sweep.csv"
+    assert main([
+        "sweep", "--param", "pause_time", "--values", "0",
+        "--protocols", "aodv", "--processes", "1", "--csv", str(csv_path), *FAST,
+    ]) == 0
+    assert csv_path.exists()
+    assert "pause_time" in csv_path.read_text().splitlines()[0]
