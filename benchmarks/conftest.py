@@ -13,11 +13,64 @@ Rendered outputs land in ``benchmarks/results/*.txt``.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 from repro.analysis import current_scale, run_figure_sweep
 from repro.analysis.experiments import PROTOCOL_SET
 from repro.scenario import run_scenario
+
+#: Kernel-bench means (seconds) at the v0 seed commit, measured on the
+#: reference machine with this exact harness (pytest-benchmark, same
+#: rounds). BENCH_kernel.json reports current numbers against these.
+SEED_BASELINE_MEANS = {
+    "test_perf_event_throughput": 9.4456e-3,
+    "test_perf_event_cancellation": 10.2857e-3,
+    "test_perf_propagation_vectorized": 10.4975e-6,
+    "test_perf_mobility_positions": 39.0375e-6,
+    "test_perf_small_scenario": 60.2912e-3,
+}
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit BENCH_kernel.json when the kernel microbenchmarks ran.
+
+    The file records mean/median/stddev/rounds per kernel bench plus
+    the speedup against :data:`SEED_BASELINE_MEANS`, giving every PR a
+    machine-readable perf trail.
+    """
+    bs = getattr(session.config, "_benchmarksession", None)
+    if bs is None:
+        return
+    kernel = [
+        b for b in bs.benchmarks
+        if "test_perf_kernel" in b.fullname and not b.has_error
+    ]
+    if not kernel:
+        return
+    payload = {
+        "source": "benchmarks/test_perf_kernel.py",
+        "units": "seconds",
+        "baseline": "v0 seed commit means on the reference machine",
+        "benchmarks": {},
+    }
+    for bench in kernel:
+        stats = bench.stats
+        entry = {
+            "mean": stats.mean,
+            "median": stats.median,
+            "stddev": stats.stddev,
+            "rounds": stats.rounds,
+        }
+        seed_mean = SEED_BASELINE_MEANS.get(bench.name)
+        if seed_mean:
+            entry["seed_mean"] = seed_mean
+            entry["speedup_vs_seed"] = round(seed_mean / stats.mean, 2)
+        payload["benchmarks"][bench.name] = entry
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

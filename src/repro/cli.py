@@ -96,10 +96,21 @@ def _summary_pairs(s) -> dict:
     }
 
 
+def _perf_pairs(perf: dict) -> dict:
+    hits = perf.get("fanout_cache_hits", 0)
+    misses = perf.get("fanout_cache_misses", 0)
+    total = hits + misses
+    pairs = dict(perf)
+    pairs["fanout hit ratio"] = round(hits / total, 3) if total else 0.0
+    return pairs
+
+
 def cmd_run(args) -> int:
     cfg = _config_from(args, args.protocol)
     summary = run_scenario(cfg)
     print(render_kv_table(f"{args.protocol.upper()} results", _summary_pairs(summary)))
+    if args.perf and summary.perf:
+        print(render_kv_table("Engine counters", _perf_pairs(summary.perf)))
     return 0
 
 
@@ -142,6 +153,10 @@ def cmd_sweep(args) -> int:
             f"{args.metric} vs {args.param}", args.param, values, means, ci=cis
         )
     )
+    print(
+        f"[executor: {result.workers} worker(s), chunksize {result.chunksize}, "
+        f"cache {result.cache_hits} hit(s) / {result.cache_misses} miss(es)]"
+    )
     if args.csv:
         sweep_to_csv(result, args.csv)
         print(f"[wrote {args.csv}]")
@@ -172,6 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one simulation")
     p_run.add_argument("--protocol", default="aodv", choices=PROTOCOLS)
+    p_run.add_argument("--perf", action="store_true",
+                       help="also print hot-path engine counters")
     _add_scenario_args(p_run)
     p_run.set_defaults(func=cmd_run)
 

@@ -9,17 +9,34 @@ scheduling order (deterministic FIFO semantics).
 Cancellation is lazy: :meth:`Event.cancel` flags the event and the queue
 discards flagged entries when they reach the top. This makes cancel O(1),
 which matters because timers (retransmit, route timeout, backoff) are
-cancelled far more often than they fire.
+cancelled far more often than they fire. Two hygiene mechanisms keep the
+lazy scheme honest under the 80 %-cancelled retransmit-timer pattern:
+
+* **Compaction** — when dead (cancelled but still heaped) entries exceed
+  half the heap, the heap is rebuilt without them, bounding memory at
+  ~2x the live count instead of growing with total cancellations.
+* **Freelist** — popped events with no remaining external references
+  (verified via ``sys.getrefcount``, so a held timer handle is never
+  recycled out from under its owner) are reset and reused by the next
+  ``push``, avoiding allocator churn on the schedule/cancel treadmill.
+
+Cancellation is idempotent and self-accounting: an event knows its
+queue, so ``Event.cancel()`` keeps ``len(queue)`` correct whether it is
+called directly or through ``Simulator.cancel``, and calling it twice
+(or on an already-fired event) is a no-op.
 """
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Optional
 
-from .errors import SchedulingError
-
 __all__ = ["Event", "EventQueue"]
+
+#: Compaction triggers when dead entries exceed both this floor and the
+#: live count (i.e. more than half the heap is garbage).
+_COMPACT_MIN_DEAD = 64
 
 
 class Event:
@@ -35,7 +52,7 @@ class Event:
         Callable invoked as ``fn(*args)`` when the event fires.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "_cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled", "_fired", "_queue")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -43,15 +60,33 @@ class Event:
         self.fn = fn
         self.args = args
         self._cancelled = False
+        self._fired = False
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
-        """Mark this event so it will be discarded instead of fired."""
+        """Cancel this event; idempotent and safe after firing.
+
+        A pending event is flagged for lazy discard and its queue's live
+        count is decremented exactly once. Cancelling an event that
+        already fired (or was already cancelled) does nothing, so stale
+        timer handles never corrupt the queue's accounting.
+        """
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._on_cancel()
 
     @property
     def cancelled(self) -> bool:
-        """Whether :meth:`cancel` has been called."""
+        """Whether :meth:`cancel` has been called (before firing)."""
         return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether this event has already been popped and executed."""
+        return self._fired
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -59,7 +94,7 @@ class Event:
         return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = " cancelled" if self._cancelled else ""
+        state = " cancelled" if self._cancelled else (" fired" if self._fired else "")
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<Event t={self.time:.6f} seq={self.seq} fn={name}{state}>"
 
@@ -73,12 +108,18 @@ class EventQueue:
     Python-level ``Event.__lt__`` dominating the kernel otherwise).
     """
 
-    __slots__ = ("_heap", "_seq", "_live")
+    __slots__ = ("_heap", "_seq", "_live", "_dead", "_pool", "perf")
 
     def __init__(self) -> None:
         self._heap: list = []
         self._seq = 0
         self._live = 0
+        #: Cancelled entries still sitting in the heap.
+        self._dead = 0
+        #: Recycled Event objects awaiting reuse.
+        self._pool: list = []
+        #: Optional shared PerfCounters (set by the owning Simulator).
+        self.perf = None
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events still queued."""
@@ -86,21 +127,58 @@ class EventQueue:
 
     def push(self, time: float, fn: Callable[..., Any], args: tuple = ()) -> Event:
         """Schedule ``fn(*args)`` at absolute *time* and return the event."""
-        ev = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, (time, self._seq, ev))
-        self._seq += 1
+        seq = self._seq
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev._cancelled = False
+            ev._fired = False
+        else:
+            ev = Event(time, seq, fn, args)
+        ev._queue = self
+        heapq.heappush(self._heap, (time, seq, ev))
+        self._seq = seq + 1
         self._live += 1
         return ev
 
-    def notify_cancel(self) -> None:
-        """Account for one external :meth:`Event.cancel` call.
+    # ------------------------------------------------------------- internals
 
-        The queue cannot observe cancellation directly (it is a flag on the
-        event), so the simulator calls this to keep ``len()`` accurate.
-        """
-        if self._live <= 0:
-            raise SchedulingError("cancel notified with no live events")
+    def _on_cancel(self) -> None:
+        """Event-side notification: one pending event was cancelled."""
         self._live -= 1
+        self._dead += 1
+        if self._dead > _COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without dead entries (O(n) heapify)."""
+        self._heap = [entry for entry in self._heap if not entry[2]._cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+        if self.perf is not None:
+            self.perf.heap_compactions += 1
+
+    def _recycle(self, ev: Event) -> None:
+        """Return *ev* to the freelist if nobody else can see it.
+
+        The baseline count is 3: the caller's reference, this method's
+        parameter, and getrefcount's own argument. Anything above that
+        means a MAC/routing layer still holds the timer handle, so reuse
+        would alias and the event is left to the garbage collector.
+        """
+        if getrefcount(ev) == 3 and len(self._pool) < 256:
+            ev.fn = None
+            ev.args = ()
+            ev._queue = None
+            self._pool.append(ev)
+            if self.perf is not None:
+                self.perf.events_pooled += 1
+
+    # --------------------------------------------------------------- popping
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` if empty.
@@ -112,17 +190,50 @@ class EventQueue:
             ev = heapq.heappop(heap)[2]
             if not ev._cancelled:
                 self._live -= 1
+                ev._fired = True
                 return ev
+            self._dead -= 1
+            self._recycle(ev)
+        return None
+
+    def pop_due(self, until: Optional[float]) -> Optional[Event]:
+        """Pop the next live event firing at or before *until*.
+
+        Returns ``None`` when the queue is empty or the next live event
+        lies beyond *until* (which is then left in place). This fuses the
+        ``peek_time`` + ``pop`` pair the run loop would otherwise issue,
+        walking past each dead entry once instead of twice.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2]._cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                self._recycle(entry[2])
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            ev = entry[2]
+            ev._fired = True
+            return ev
         return None
 
     def peek_time(self) -> Optional[float]:
         """Firing time of the next live event, or ``None`` if empty."""
         heap = self._heap
         while heap and heap[0][2]._cancelled:
-            heapq.heappop(heap)
+            ev = heapq.heappop(heap)[2]
+            self._dead -= 1
+            self._recycle(ev)
         return heap[0][0] if heap else None
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for entry in self._heap:
+            entry[2]._queue = None
         self._heap.clear()
         self._live = 0
+        self._dead = 0

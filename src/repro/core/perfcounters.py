@@ -1,0 +1,75 @@
+"""Hot-path instrumentation counters.
+
+Every optimisation layer added by the vectorized engine (batch mobility
+kinematics, the channel fan-out cache, spatial-grid incremental updates,
+event-heap compaction and pooling, the sweep result cache) increments a
+counter here, so a regression in any cache's hit ratio is visible in
+``MetricsSummary.perf``, the CLI, and ``BENCH_kernel.json`` without
+re-profiling.
+
+One :class:`PerfCounters` instance lives on each :class:`Simulator`;
+layers share it by reference. Counting is plain integer addition — cheap
+enough to stay on unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["PerfCounters"]
+
+
+class PerfCounters:
+    """Mutable counter block for one simulation (or one sweep session)."""
+
+    __slots__ = (
+        "fanout_cache_hits",
+        "fanout_cache_misses",
+        "batch_position_evals",
+        "scalar_position_evals",
+        "segment_refreshes",
+        "grid_rebuilds",
+        "grid_incremental_updates",
+        "heap_compactions",
+        "events_pooled",
+        "sweep_cache_hits",
+        "sweep_cache_misses",
+    )
+
+    def __init__(self) -> None:
+        #: Channel geometry served from the per-(src, epoch) memo.
+        self.fanout_cache_hits = 0
+        #: Channel geometry computed fresh.
+        self.fanout_cache_misses = 0
+        #: positions(t) calls answered by the fused NumPy expression.
+        self.batch_position_evals = 0
+        #: Per-node ``position(t)`` fallback evaluations (non-linear
+        #: models, or rows pinned at a segment endpoint).
+        self.scalar_position_evals = 0
+        #: Mobility segments re-published into the manager's arrays.
+        self.segment_refreshes = 0
+        #: Spatial grid built from scratch.
+        self.grid_rebuilds = 0
+        #: Spatial grid refreshed by re-binning only moved nodes.
+        self.grid_incremental_updates = 0
+        #: Lazy-cancel heap compactions (dead-entry purges).
+        self.heap_compactions = 0
+        #: Event objects recycled through the freelist.
+        self.events_pooled = 0
+        #: Sweep cells served from the on-disk result cache.
+        self.sweep_cache_hits = 0
+        #: Sweep cells actually simulated.
+        self.sweep_cache_misses = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counter snapshot (for summaries and JSON artifacts)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def fanout_hit_ratio(self) -> float:
+        """Fraction of transmissions whose geometry came from the memo."""
+        total = self.fanout_cache_hits + self.fanout_cache_misses
+        return self.fanout_cache_hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"PerfCounters({fields})"

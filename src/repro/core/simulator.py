@@ -13,6 +13,7 @@ from typing import Any, Callable, Optional
 
 from .errors import SchedulingError
 from .events import Event, EventQueue
+from .perfcounters import PerfCounters
 from .rng import RngStreams
 from .trace import NULL_TRACER, Tracer
 
@@ -48,6 +49,9 @@ class Simulator:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Count of events actually fired; useful for performance reporting.
         self.events_processed = 0
+        #: Hot-path instrumentation shared with every attached layer.
+        self.perf = PerfCounters()
+        self._queue.perf = self.perf
 
     # ------------------------------------------------------------------ clock
 
@@ -77,10 +81,14 @@ class Simulator:
         return self._queue.push(time, fn, args)
 
     def cancel(self, event: Optional[Event]) -> None:
-        """Cancel *event* if it is still pending; ``None`` is accepted."""
-        if event is not None and not event.cancelled:
+        """Cancel *event* if it is still pending; ``None`` is accepted.
+
+        Delegates to :meth:`Event.cancel`, which is idempotent and keeps
+        the queue's live count correct (already-fired or double-cancelled
+        events are no-ops).
+        """
+        if event is not None:
             event.cancel()
-            self._queue.notify_cancel()
 
     # -------------------------------------------------------------- execution
 
@@ -99,21 +107,22 @@ class Simulator:
         self._running = True
         self._stopped = False
         queue = self._queue
+        recycle = queue._recycle
+        processed = 0
         try:
             while not self._stopped:
-                next_time = queue.peek_time()
-                if next_time is None:
+                ev = queue.pop_due(until)
+                if ev is None:
                     break
-                if until is not None and next_time > until:
-                    break
-                ev = queue.pop()
-                assert ev is not None  # peek said there was one
                 self._now = ev.time
-                self.events_processed += 1
+                processed += 1
                 ev.fn(*ev.args)
+                # Fired and no handle retained anywhere -> safe to reuse.
+                recycle(ev)
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
+            self.events_processed += processed
             self._running = False
 
     def stop(self) -> None:

@@ -88,6 +88,7 @@ class DcfMac(MacLayer):
         self._backoff_start = 0.0
         self._timer = None  # the single contention/timeout timer
         self._nav = 0.0
+        self._nav_wake = 0.0  # latest NAV expiry a wake-up is scheduled for
         self._tx_frame: Optional[Frame] = None
         self._responses: set[int] = set()  # uids of CTS/ACK/DATA responses
         self._pending_data: Optional[Frame] = None  # DATA awaiting CTS grant
@@ -122,18 +123,45 @@ class DcfMac(MacLayer):
         self._begin_contention()
 
     def _medium_busy(self) -> bool:
+        # carrier_busy() already covers our own transmission (_tx_end);
+        # inlined here because medium_changed fires on every arrival edge.
+        radio = self.radio
         return (
-            self.radio.carrier_busy()
-            or self.radio.is_transmitting
+            radio._tx_end is not None
+            or bool(radio._arrivals)
             or self.sim.now < self._nav
         )
 
     def _begin_contention(self) -> None:
         if self._medium_busy():
             self._state = _WAIT_MEDIUM
+            self._ensure_nav_wake()
             return
         self._state = _DIFS
         self._timer = self.sim.schedule(Dot11.DIFS, self._difs_done)
+
+    def _ensure_nav_wake(self) -> None:
+        """Schedule a wake-up at NAV expiry while we wait on the medium.
+
+        NAV wake-ups are lazy: :meth:`_set_nav` only records the
+        reservation, and a timer is scheduled just when this MAC is
+        actually parked in ``_WAIT_MEDIUM`` (otherwise radio edges or
+        our own timers already cover every transition). ``_nav_wake``
+        dedups so each reservation extension costs at most one event.
+        """
+        nav = self._nav
+        now = self.sim.now
+        if now < nav and self._nav_wake < nav:
+            self._nav_wake = nav
+            self.sim.schedule(nav - now, self._nav_wake_fired)
+
+    def _nav_wake_fired(self) -> None:
+        # ``now + (nav - now)`` can round one ulp below ``nav``, leaving
+        # the medium still NAV-busy when the wake fires. Clearing the
+        # dedup marker first lets medium_changed re-arm a wake for the
+        # residual ulp (the fixpoint converges in one step).
+        self._nav_wake = 0.0
+        self.medium_changed()
 
     def medium_changed(self) -> None:
         # Hot path: the radio notifies on every arrival edge, but only
@@ -142,12 +170,16 @@ class DcfMac(MacLayer):
         if state is not _WAIT_MEDIUM and state is not _DIFS and state is not _BACKOFF:
             return
         busy = self._medium_busy()
-        if self._state == _WAIT_MEDIUM and not busy:
-            self._begin_contention()
+        if self._state == _WAIT_MEDIUM:
+            if not busy:
+                self._begin_contention()
+            else:
+                self._ensure_nav_wake()
         elif self._state == _DIFS and busy:
             self.sim.cancel(self._timer)
             self._timer = None
             self._state = _WAIT_MEDIUM
+            self._ensure_nav_wake()
         elif self._state == _BACKOFF and busy:
             self.sim.cancel(self._timer)
             self._timer = None
@@ -155,6 +187,7 @@ class DcfMac(MacLayer):
             consumed = int(math.floor(elapsed / Dot11.SLOT + 1e-9))
             self._backoff_slots = max(0, self._backoff_slots - consumed)
             self._state = _WAIT_MEDIUM
+            self._ensure_nav_wake()
 
     def _difs_done(self) -> None:
         self._timer = None
@@ -352,5 +385,7 @@ class DcfMac(MacLayer):
     def _set_nav(self, until: float) -> None:
         if until > self._nav:
             self._nav = until
-            self.sim.schedule(until - self.sim.now, self.medium_changed)
+            # The immediate notification lets _DIFS/_BACKOFF freeze; the
+            # expiry wake-up is scheduled lazily (see _ensure_nav_wake)
+            # so reservations that nobody waits on cost no events.
             self.medium_changed()

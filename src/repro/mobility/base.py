@@ -13,7 +13,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.errors import ConfigurationError
 
@@ -98,6 +98,21 @@ class MobilityModel:
         """Instantaneous speed at time *t* (m/s)."""
         raise NotImplementedError
 
+    def segment(self, t: float) -> Optional[Tuple[float, float, float, float, float, float]]:
+        """Current linear trajectory segment, or ``None`` if non-linear.
+
+        Returns ``(t0, t1, x0, y0, x1, y1)`` such that for every
+        ``t0 <= s < t1`` the node's position is exactly
+        ``(x0 + (s-t0)/(t1-t0) * (x1-x0), ...)`` — i.e. the same
+        floating-point expression :meth:`Leg.position` evaluates. The
+        :class:`~repro.mobility.manager.MobilityManager` publishes these
+        segments into NumPy arrays so ``positions(t)`` is one fused
+        expression instead of N Python calls. Models whose trajectory is
+        not piecewise-linear return ``None`` and are evaluated through
+        the per-node :meth:`position` fallback.
+        """
+        return None
+
 
 class LegBasedModel(MobilityModel):
     """Base for models that lazily extend a list of :class:`Leg` segments.
@@ -150,3 +165,7 @@ class LegBasedModel(MobilityModel):
 
     def speed(self, t: float) -> float:
         return self._leg_at(t).speed
+
+    def segment(self, t: float) -> Tuple[float, float, float, float, float, float]:
+        leg = self._leg_at(t)
+        return (leg.t0, leg.t1, leg.x0, leg.y0, leg.x1, leg.y1)

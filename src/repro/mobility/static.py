@@ -23,6 +23,11 @@ class StaticPosition(MobilityModel):
     def speed(self, t: float) -> float:
         return 0.0
 
+    def segment(self, t: float) -> Tuple[float, float, float, float, float, float]:
+        # One segment covers all time; with t1 = inf the batch evaluator's
+        # frac = t/inf = 0.0 pins the node at (x, y) exactly.
+        return (0.0, float("inf"), self.x, self.y, self.x, self.y)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"StaticPosition({self.x:.1f}, {self.y:.1f})"
 

@@ -57,12 +57,29 @@ def build_network(
     mac_factory: Callable,
     propagation: Optional[PropagationModel] = None,
     radio_params: Optional[RadioParams] = None,
+    batch_kinematics: bool = True,
+    fanout_cache: bool = True,
+    position_quantum: float = 0.0,
 ) -> Network:
-    """Assemble the full stack for ``len(mobility_models)`` nodes."""
+    """Assemble the full stack for ``len(mobility_models)`` nodes.
+
+    ``batch_kinematics`` and ``fanout_cache`` select the vectorized hot
+    paths (the legacy per-node paths are kept for determinism A/B
+    testing); ``position_quantum`` is the channel's geometry sample
+    period (see :class:`~repro.phy.channel.Channel`).
+    """
     propagation = propagation if propagation is not None else TwoRayGround()
     params = radio_params if radio_params is not None else WAVELAN_914MHZ
-    mobility = MobilityManager(mobility_models)
-    channel = Channel(sim, mobility, propagation, params)
+    mobility = MobilityManager(mobility_models, batch=batch_kinematics)
+    mobility.perf = sim.perf
+    channel = Channel(
+        sim,
+        mobility,
+        propagation,
+        params,
+        fanout_cache=fanout_cache,
+        position_quantum=position_quantum,
+    )
     nodes: List[Node] = []
     for i in range(len(mobility_models)):
         radio = Radio(sim, i, params)

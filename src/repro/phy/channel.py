@@ -59,6 +59,19 @@ class Channel:
     grid_threshold:
         Node count above which the spatial grid is used for candidate
         pruning instead of brute-force vectorized distances.
+    fanout_cache:
+        Memoize the eligible-receiver set and power vector per
+        ``(src, sample time)``, so the RTS/CTS/DATA/ACK burst of one
+        exchange computes geometry once. Positions are pure functions
+        of time (analytic trajectories), so the memo is exact — results
+        are bit-identical with the cache on or off.
+    position_quantum:
+        Geometry sample period (s). Transmissions sample node positions
+        at ``floor(now / q) * q`` — the *position epoch* — instead of
+        the exact frame time, so every frame inside one quantum shares
+        one geometry snapshot (and one fan-out memo entry). 0 disables
+        quantization. At the paper's 20 m/s top speed a 5 ms quantum
+        bounds the sampling error at 0.1 m against a 250 m radio range.
     """
 
     def __init__(
@@ -68,7 +81,13 @@ class Channel:
         propagation: PropagationModel,
         params: RadioParams,
         grid_threshold: int = 128,
+        fanout_cache: bool = True,
+        position_quantum: float = 0.0,
     ):
+        if position_quantum < 0:
+            raise ConfigurationError(
+                f"position quantum must be >= 0, got {position_quantum}"
+            )
         self.sim = sim
         self.mobility = mobility
         self.propagation = propagation
@@ -83,6 +102,16 @@ class Channel:
             )
         self._grid: Optional[SpatialIndex] = None
         self._grid_time = -1.0
+        #: Below this node count, fan-out uses the scalar power loop.
+        self._scalar_threshold = 32
+        self._pts_time = -1.0
+        self._pts_x: Optional[list] = None
+        self._pts_y: Optional[list] = None
+        self._fanout_cache = fanout_cache
+        self._quantum = position_quantum
+        #: src id -> (sample time, eligible ids, powers aligned with them).
+        self._memo: dict = {}
+        self.perf = sim.perf
 
     # ------------------------------------------------------------- topology
 
@@ -107,77 +136,138 @@ class Channel:
 
     def transmit(self, src: Radio, frame: Frame, duration: float) -> None:
         """Fan *frame* out from *src* to every detectable receiver."""
+        q = self._quantum
         now = self.sim.now
-        positions = self.mobility.positions(now)
-        n = len(positions)
+        # Position epoch: geometry is sampled on a quantized clock so
+        # consecutive frames of one exchange share a snapshot.
+        tq = now if q <= 0.0 else int(now / q) * q
         self.stats.transmissions += 1
         self.stats.airtime += duration
-        sx, sy = positions[src.node_id]
-
-        if n > self._grid_threshold:
-            candidates = self._grid_candidates(positions, now, sx, sy)
-        else:
-            candidates = None  # brute force below
-
-        if candidates is None:
-            dx = positions[:, 0] - sx
-            dy = positions[:, 1] - sy
-            dists = np.hypot(dx, dy)
-            powers = self.propagation.rx_power_vec(self.params.tx_power, dists)
-            eligible = np.nonzero(powers >= self.params.cs_threshold)[0]
-            self._fan_out(src, frame, duration, eligible, dists, powers)
-        else:
-            idx = np.asarray(candidates, dtype=np.intp)
-            dx = positions[idx, 0] - sx
-            dy = positions[idx, 1] - sy
-            dists_c = np.hypot(dx, dy)
-            powers_c = self.propagation.rx_power_vec(self.params.tx_power, dists_c)
-            keep = powers_c >= self.params.cs_threshold
-            self._fan_out(src, frame, duration, idx[keep], None, None,
-                          dists_c[keep], powers_c[keep])
-
-    def _grid_candidates(self, positions, now, sx, sy):
-        if self._grid is None:
-            self._grid = SpatialIndex(cell_size=self._max_range)
-        if self._grid_time != now:
-            self._grid.rebuild(positions)
-            self._grid_time = now
-        return self._grid.query_radius(sx, sy, self._max_range)
-
-    def _fan_out(
-        self,
-        src: Radio,
-        frame: Frame,
-        duration: float,
-        eligible,
-        dists=None,
-        powers=None,
-        dists_sub=None,
-        powers_sub=None,
-    ) -> None:
-        # Arrivals begin synchronously: the speed-of-light delay inside
-        # the carrier-sense range (< 2 µs) is far below every MAC timing
-        # constant (SIFS = 10 µs), so modelling it would only multiply
-        # event count ~25x for no behavioural difference. One event per
-        # *transmission* ends every receiver's arrival.
-        radios = self.radios
         src_id = src.node_id
-        ended: list = []
-        for k, i in enumerate(eligible):
-            i = int(i)
+        perf = self.perf
+        if self._fanout_cache:
+            hit = self._memo.get(src_id)
+            if hit is not None and hit[0] == tq:
+                targets = hit[1]
+                if perf is not None:
+                    perf.fanout_cache_hits += 1
+            else:
+                targets = self._build_targets(src_id, tq)
+                self._memo[src_id] = (tq, targets)
+                if perf is not None:
+                    perf.fanout_cache_misses += 1
+        else:
+            targets = self._build_targets(src_id, tq)
+            if perf is not None:
+                perf.fanout_cache_misses += 1
+        self._fan_out(src, frame, duration, targets)
+
+    def _build_targets(self, src_id: int, tq: float) -> list:
+        """Fan-out list for *src_id* at sample time *tq*.
+
+        Each element is ``(radio, rx_power)`` for one detectable
+        receiver (the source itself excluded), prebuilt so a memo hit
+        skips every per-receiver index/id check.
+        """
+        eligible, powers = self._compute_fanout(src_id, tq)
+        radios = self.radios
+        targets = []
+        append = targets.append
+        for i, p in zip(eligible, powers):
             if i == src_id:
                 continue
             radio = radios[i]
             if radio is None:
                 raise SimulationError(f"node {i} is in range but has no radio")
-            p = float(powers[i]) if dists is not None else float(powers_sub[k])
-            self.stats.deliveries_attempted += 1
+            append((radio, p))
+        return targets
+
+    def _compute_fanout(self, src_id: int, tq: float):
+        """Eligible receiver ids and their rx powers at sample time *tq*.
+
+        Returns two parallel Python lists. Below ``_scalar_threshold``
+        nodes a plain loop over :meth:`rx_power_d2` runs — NumPy
+        dispatch costs more than the arithmetic at that size. Both
+        forms evaluate identical float64 expressions, so the choice of
+        path never changes results.
+        """
+        positions = self.mobility.positions(tq)
+        n = len(positions)
+        if n <= self._scalar_threshold:
+            if self._pts_time != tq:
+                self._pts_x = positions[:, 0].tolist()
+                self._pts_y = positions[:, 1].tolist()
+                self._pts_time = tq
+            xs = self._pts_x
+            ys = self._pts_y
+            sx = xs[src_id]
+            sy = ys[src_id]
+            tx_power = self.params.tx_power
+            cs = self.params.cs_threshold
+            rxp = self.propagation.rx_power_d2
+            eligible = []
+            powers = []
+            for i in range(n):
+                dx = xs[i] - sx
+                dy = ys[i] - sy
+                p = rxp(tx_power, dx * dx + dy * dy)
+                if p >= cs:
+                    eligible.append(i)
+                    powers.append(p)
+            return eligible, powers
+        sx = positions[src_id, 0]
+        sy = positions[src_id, 1]
+        if n > self._grid_threshold:
+            candidates = self._grid_candidates(positions, tq, sx, sy)
+            idx = np.asarray(candidates, dtype=np.intp)
+            dx = positions[idx, 0] - sx
+            dy = positions[idx, 1] - sy
+            d2 = dx * dx + dy * dy
+            powers = self.propagation.rx_power_d2_vec(self.params.tx_power, d2)
+            keep = powers >= self.params.cs_threshold
+            return idx[keep].tolist(), powers[keep].tolist()
+        dx = positions[:, 0] - sx
+        dy = positions[:, 1] - sy
+        d2 = dx * dx + dy * dy
+        powers = self.propagation.rx_power_d2_vec(self.params.tx_power, d2)
+        eligible = np.nonzero(powers >= self.params.cs_threshold)[0]
+        return eligible.tolist(), powers[eligible].tolist()
+
+    def _grid_candidates(self, positions, tq, sx, sy):
+        perf = self.perf
+        if self._grid is None:
+            self._grid = SpatialIndex(cell_size=self._max_range)
+            self._grid.rebuild(positions)
+            self._grid_time = tq
+            if perf is not None:
+                perf.grid_rebuilds += 1
+        elif self._grid_time != tq:
+            self._grid.update(positions)
+            self._grid_time = tq
+            if perf is not None:
+                perf.grid_incremental_updates += 1
+        return self._grid.query_radius(sx, sy, self._max_range)
+
+    def _fan_out(
+        self, src: Radio, frame: Frame, duration: float, targets: list
+    ) -> None:
+        # Arrivals begin synchronously: the speed-of-light delay inside
+        # the carrier-sense range (< 2 µs) is far below every MAC timing
+        # constant (SIFS = 10 µs), so modelling it would only multiply
+        # event count ~25x for no behavioural difference. One event per
+        # *transmission* ends every receiver's arrival and completes the
+        # sender's transmit (receivers first, preserving the order the
+        # two separate events used to fire in).
+        ended: list = []
+        append = ended.append
+        for radio, p in targets:
             entry = radio.begin_arrival(frame, p, duration)
             if entry is not None:
-                ended.append((radio, entry))
-        if ended:
-            self.sim.schedule(duration, self._end_transmission, ended)
+                append((radio, entry))
+        self.stats.deliveries_attempted += len(targets)
+        self.sim.schedule(duration, self._end_transmission, src, frame, ended)
 
-    def _end_transmission(self, ended) -> None:
+    def _end_transmission(self, src: Radio, frame: Frame, ended) -> None:
         for radio, entry in ended:
             radio.end_arrival(entry)
+        src._transmit_done(frame)

@@ -50,6 +50,29 @@ class PropagationModel:
             out.flat[i] = self.rx_power(tx_power, float(di))
         return out
 
+    def rx_power_d2_vec(self, tx_power: float, d2) -> "np.ndarray":
+        """Vectorized received power from *squared* distances.
+
+        The channel's fan-out works from ``dx² + dy²`` directly; models
+        whose closed form only needs even powers of distance (Friis,
+        two-ray ground, unit disk) override this to skip the square
+        root entirely. The base implementation takes the root and
+        defers to :meth:`rx_power_vec`.
+        """
+        import numpy as np
+
+        return self.rx_power_vec(tx_power, np.sqrt(np.asarray(d2, dtype=np.float64)))
+
+    def rx_power_d2(self, tx_power: float, d2: float) -> float:
+        """Scalar counterpart of :meth:`rx_power_d2_vec`.
+
+        The channel uses this below its vectorization threshold, where
+        a Python loop beats NumPy dispatch. Overrides must evaluate the
+        exact same float64 expression as the vector form so results do
+        not depend on which path ran.
+        """
+        return self.rx_power(tx_power, math.sqrt(d2))
+
     def range_for_threshold(self, tx_power: float, threshold: float) -> float:
         """Largest distance at which rx power still meets *threshold*.
 
@@ -90,6 +113,12 @@ class FreeSpace(PropagationModel):
         self.gain_tx = gain_tx
         self.gain_rx = gain_rx
         self.system_loss = system_loss
+        # Pr = tx * coeff / d²; hoisted so the vector path is one
+        # multiply and one divide per element.
+        self._d2_coeff = (
+            gain_tx * gain_rx * self.wavelength * self.wavelength
+            / (16.0 * math.pi * math.pi * system_loss)
+        )
 
     def rx_power(self, tx_power: float, distance: float) -> float:
         if distance <= 0:
@@ -103,6 +132,20 @@ class FreeSpace(PropagationModel):
             * lam
             / ((4.0 * math.pi * distance) ** 2 * self.system_loss)
         )
+
+    def rx_power_d2_vec(self, tx_power: float, d2):
+        import numpy as np
+
+        d2 = np.asarray(d2, dtype=np.float64)
+        safe = np.where(d2 > 0.0, d2, 1.0)
+        out = (tx_power * self._d2_coeff) / safe
+        out[d2 <= 0.0] = tx_power
+        return out
+
+    def rx_power_d2(self, tx_power: float, d2: float) -> float:
+        if d2 <= 0.0:
+            return tx_power
+        return (tx_power * self._d2_coeff) / d2
 
 
 class TwoRayGround(PropagationModel):
@@ -133,6 +176,9 @@ class TwoRayGround(PropagationModel):
         self.crossover = (
             4.0 * math.pi * height_tx * height_rx / self._friis.wavelength
         )
+        # Pr = tx * coeff / d⁴ beyond the crossover.
+        self._d4_coeff = gain_tx * gain_rx * (height_tx * height_rx) ** 2 / system_loss
+        self._cross2 = self.crossover * self.crossover
 
     def rx_power(self, tx_power: float, distance: float) -> float:
         if distance <= 0:
@@ -149,20 +195,25 @@ class TwoRayGround(PropagationModel):
         import numpy as np
 
         d = np.asarray(distances, dtype=np.float64)
-        lam = self._friis.wavelength
-        with np.errstate(divide="ignore"):
-            friis = (
-                tx_power * self.gain_tx * self.gain_rx * lam * lam
-                / ((4.0 * math.pi * d) ** 2 * self.system_loss)
-            )
-            h2 = (self.height_tx * self.height_rx) ** 2
-            tworay = (
-                tx_power * self.gain_tx * self.gain_rx * h2
-                / (d**4 * self.system_loss)
-            )
-        out = np.where(d < self.crossover, friis, tworay)
-        out[d <= 0.0] = tx_power
+        return self.rx_power_d2_vec(tx_power, d * d)
+
+    def rx_power_d2_vec(self, tx_power: float, d2):
+        import numpy as np
+
+        d2 = np.asarray(d2, dtype=np.float64)
+        safe = np.where(d2 > 0.0, d2, 1.0)
+        friis = (tx_power * self._friis._d2_coeff) / safe
+        tworay = (tx_power * self._d4_coeff) / (safe * safe)
+        out = np.where(d2 < self._cross2, friis, tworay)
+        out[d2 <= 0.0] = tx_power
         return out
+
+    def rx_power_d2(self, tx_power: float, d2: float) -> float:
+        if d2 <= 0.0:
+            return tx_power
+        if d2 < self._cross2:
+            return (tx_power * self._friis._d2_coeff) / d2
+        return (tx_power * self._d4_coeff) / (d2 * d2)
 
 
 class LogDistance(PropagationModel):
@@ -213,6 +264,15 @@ class UnitDisk(PropagationModel):
 
         d = np.asarray(distances, dtype=np.float64)
         return np.where(d <= self.radius, tx_power, 0.0)
+
+    def rx_power_d2_vec(self, tx_power: float, d2):
+        import numpy as np
+
+        d2 = np.asarray(d2, dtype=np.float64)
+        return np.where(d2 <= self.radius * self.radius, tx_power, 0.0)
+
+    def rx_power_d2(self, tx_power: float, d2: float) -> float:
+        return tx_power if d2 <= self.radius * self.radius else 0.0
 
     def range_for_threshold(self, tx_power: float, threshold: float) -> float:
         return self.radius if tx_power >= threshold else 0.0

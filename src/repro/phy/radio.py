@@ -128,7 +128,9 @@ class Radio:
         self.stats.frames_sent += 1
         self.stats.airtime_tx += duration
         self.channel.transmit(self, frame, duration)
-        self.sim.schedule(duration, self._transmit_done, frame)
+        # No tx-done event here: the channel's end-of-transmission event
+        # calls _transmit_done after ending the receivers' arrivals,
+        # folding two same-instant heap entries into one.
         return duration
 
     def _transmit_done(self, frame: Frame) -> None:
@@ -146,55 +148,69 @@ class Radio:
         :meth:`end_arrival` when the frame's airtime elapses), or
         ``None`` for undetectable signals.
         """
-        if power < self.params.cs_threshold:
+        params = self.params
+        if power < params.cs_threshold:
             return None  # undetectable: below the noise visibility floor
-        entry = _Arrival(frame, power, self.sim.now + duration)
+        sim = self.sim
+        stats = self.stats
+        entry = _Arrival(frame, power, sim.now + duration)
+        # The MAC only needs a notification when the carrier may have
+        # flipped idle -> busy; overlapping arrivals leave it busy.
+        was_idle = self._tx_end is None and not self._arrivals
 
+        rx = self._rx
         if self._tx_end is not None:
             # Arrivals during our own transmission are unreceivable.
             entry.corrupted = True
-            self.stats.halfduplex_drops += 1
-        elif self._rx is not None:
+            stats.halfduplex_drops += 1
+        elif rx is not None:
             # Already decoding: capture or mutual corruption.
-            if self._rx.power >= self.params.capture_ratio * power:
-                self.stats.capture_ignored += 1
+            if rx.power >= params.capture_ratio * power:
+                stats.capture_ignored += 1
             else:
-                self._rx.corrupted = True
+                rx.corrupted = True
                 entry.corrupted = True
-                self.stats.collisions += 1
-                tracer = self.sim.tracer
+                stats.collisions += 1
+                tracer = sim.tracer
                 if tracer.enabled("phy"):
                     tracer.log(
-                        self.sim.now, "phy", "collision", self.node_id,
-                        self._rx.frame.src, frame.src,
+                        sim.now, "phy", "collision", self.node_id,
+                        rx.frame.src, frame.src,
                     )
-        elif power >= self.params.rx_threshold:
+        elif power >= params.rx_threshold:
             # Candidate decode; pre-existing interference may already
             # bury it.
             strongest = 0.0
             for a in self._arrivals:
                 if a.power > strongest:
                     strongest = a.power
-            if power >= self.params.capture_ratio * strongest:
+            if power >= params.capture_ratio * strongest:
                 self._rx = entry
-                self.stats.airtime_rx += duration
+                stats.airtime_rx += duration
             else:
                 entry.corrupted = True
-                self.stats.collisions += 1
+                stats.collisions += 1
         # else: detectable but too weak to decode -> busy only.
 
         self._arrivals.append(entry)
-        if self.mac is not None:
-            self.mac.medium_changed()
+        if was_idle:
+            mac = self.mac
+            if mac is not None:
+                mac.medium_changed()
         return entry
 
     def end_arrival(self, entry: _Arrival) -> None:
         self._arrivals.remove(entry)
+        mac = self.mac
         if entry is self._rx:
             self._rx = None
             if not entry.corrupted:
                 self.stats.frames_received += 1
-                if self.mac is not None:
-                    self.mac.on_frame_received(entry.frame, entry.power)
-        if self.mac is not None:
-            self.mac.medium_changed()
+                if mac is not None:
+                    mac.on_frame_received(entry.frame, entry.power)
+        elif self._arrivals or self._tx_end is not None:
+            # Carrier still busy and nothing was delivered: the MAC has
+            # nothing to react to.
+            return
+        if mac is not None:
+            mac.medium_changed()

@@ -36,6 +36,8 @@ class SpatialIndex:
         self.cell_size = cell_size
         self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         self._positions: np.ndarray | None = None
+        self._keys_x: np.ndarray | None = None
+        self._keys_y: np.ndarray | None = None
 
     def _key(self, x: float, y: float) -> Tuple[int, int]:
         c = self.cell_size
@@ -48,9 +50,42 @@ class SpatialIndex:
         c = self.cell_size
         keys_x = np.floor(positions[:, 0] / c).astype(np.int64)
         keys_y = np.floor(positions[:, 1] / c).astype(np.int64)
+        self._keys_x = keys_x
+        self._keys_y = keys_y
         cells = self._cells
         for i in range(len(positions)):
             cells[(int(keys_x[i]), int(keys_y[i]))].append(i)
+
+    def update(self, positions: np.ndarray) -> int:
+        """Re-bin only points whose grid cell changed since the last
+        ``rebuild``/``update``; returns how many points moved cells.
+
+        Between waypoint events nodes drift by meters while cells are
+        hundreds of meters wide, so almost every update is a vectorized
+        key comparison and nothing else. Falls back to a full rebuild
+        when the point count changes.
+        """
+        if self._keys_x is None or len(positions) != len(self._keys_x):
+            self.rebuild(positions)
+            return len(positions)
+        c = self.cell_size
+        keys_x = np.floor(positions[:, 0] / c).astype(np.int64)
+        keys_y = np.floor(positions[:, 1] / c).astype(np.int64)
+        changed = np.nonzero((keys_x != self._keys_x) | (keys_y != self._keys_y))[0]
+        cells = self._cells
+        old_x, old_y = self._keys_x, self._keys_y
+        for i in changed.tolist():
+            old_key = (int(old_x[i]), int(old_y[i]))
+            bucket = cells.get(old_key)
+            if bucket is not None:
+                bucket.remove(i)
+                if not bucket:
+                    del cells[old_key]
+            cells[(int(keys_x[i]), int(keys_y[i]))].append(i)
+        self._keys_x = keys_x
+        self._keys_y = keys_y
+        self._positions = positions
+        return int(changed.size)
 
     def query_radius(self, x: float, y: float, radius: float) -> List[int]:
         """Indices of points within *radius* of ``(x, y)``.

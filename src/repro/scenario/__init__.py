@@ -2,6 +2,7 @@
 
 from .build import Scenario, build_scenario
 from .config import PROTOCOLS, ScenarioConfig
+from .executor import SweepExecutor, config_cache_key, default_executor
 from .run import run_replications, run_scenario
 from .sweep import SweepResult, run_sweep, sweep_configs
 
@@ -10,6 +11,9 @@ __all__ = [
     "build_scenario",
     "PROTOCOLS",
     "ScenarioConfig",
+    "SweepExecutor",
+    "config_cache_key",
+    "default_executor",
     "run_replications",
     "run_scenario",
     "SweepResult",

@@ -63,7 +63,9 @@ class Scenario:
         for src in self.sources:
             src.begin()
         self.sim.run(until=self.config.duration)
-        return self.collector.finish(self.network, self.config.duration)
+        summary = self.collector.finish(self.network, self.config.duration)
+        summary.perf = self.sim.perf.as_dict()
+        return summary
 
 
 def _make_propagation(cfg: ScenarioConfig):
@@ -182,9 +184,17 @@ def _mac_factory(cfg: ScenarioConfig):
 
 
 def build_scenario(cfg: ScenarioConfig) -> Scenario:
-    """Wire up every layer for *cfg* (deterministic in ``cfg.run_seed``)."""
+    """Wire up every layer for *cfg* (deterministic in ``cfg.run_seed``).
+
+    Setting ``MANETSIM_LEGACY_KINEMATICS=1`` selects the legacy per-node
+    position loop and disables the channel fan-out cache — the A/B
+    reference paths, which must produce bit-identical metrics.
+    """
+    import os
+
     from ..core.trace import Tracer
 
+    legacy = os.environ.get("MANETSIM_LEGACY_KINEMATICS") == "1"
     tracer = Tracer(cfg.trace) if cfg.trace else None
     sim = Simulator(seed=cfg.run_seed, tracer=tracer)
     propagation = _make_propagation(cfg)
@@ -197,6 +207,9 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
         mac_factory=_mac_factory(cfg),
         propagation=propagation,
         radio_params=params,
+        batch_kinematics=not legacy,
+        fanout_cache=not legacy,
+        position_quantum=cfg.position_quantum,
     )
     if cfg.protocol == "oracle":
         for node in network.nodes:

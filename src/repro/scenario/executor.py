@@ -1,0 +1,249 @@
+"""Persistent sweep execution: a long-lived worker pool + result cache.
+
+Sweeps are embarrassingly parallel, but the seed implementation paid
+two recurring costs: a fresh ``multiprocessing.Pool`` per sweep (fork +
+teardown for every call) and ``chunksize=1`` dispatch (one IPC round
+trip per simulation). The :class:`SweepExecutor` keeps one pool alive
+for the process lifetime, dispatches with ``imap_unordered`` and a
+batched chunksize, and memoizes finished runs on disk.
+
+The disk cache is exact: a :class:`~repro.scenario.config.ScenarioConfig`
+pins a simulation bit-for-bit (frozen primitives + deterministic
+kernel), so the sha256 of its canonical JSON — salted with a cache
+version — keys the pickled :class:`~repro.stats.metrics.MetricsSummary`.
+A cached summary compares equal to a fresh one (the ``perf`` counter
+field is excluded from dataclass equality), which the determinism tests
+assert.
+
+Environment knobs
+-----------------
+``MANETSIM_PROCESSES``
+    Worker count when the caller does not pass one.
+``MANETSIM_NO_SWEEP_CACHE``
+    Set to ``1`` to bypass the on-disk cache entirely.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import multiprocessing as mp
+import os
+import pickle
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.trace import NULL_TRACER, Tracer
+from ..stats.metrics import MetricsSummary
+from .config import ScenarioConfig
+from .run import run_scenario
+
+__all__ = ["SweepExecutor", "config_cache_key", "default_executor"]
+
+#: Bump when kernel behaviour changes invalidate old cached summaries.
+_CACHE_SALT = "manetsim-sweep-v1"
+
+#: Default cache root, resolved against the working directory.
+_CACHE_DIR = ".manetsim-cache"
+
+
+def config_cache_key(cfg: ScenarioConfig) -> str:
+    """Stable content hash identifying *cfg*'s simulation output."""
+    from .io import config_to_dict
+
+    canon = json.dumps(config_to_dict(cfg), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(f"{_CACHE_SALT}:{canon}".encode()).hexdigest()
+
+
+class _DiskCache:
+    """Pickled summaries under ``<root>/sweep/<k[:2]>/<k>.pkl``."""
+
+    def __init__(self, root: Path):
+        self.root = root / "sweep"
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / (key + ".pkl")
+
+    def get(self, key: str) -> Optional[MetricsSummary]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None  # missing or torn entry: recompute
+
+    def put(self, key: str, summary: MetricsSummary) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(summary, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: readers never see partial writes
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+
+def _worker(job: Tuple[int, ScenarioConfig]) -> Tuple[int, MetricsSummary]:
+    index, cfg = job
+    return index, run_scenario(cfg)
+
+
+def _resolve_processes(processes: Optional[int]) -> int:
+    if processes is None:
+        env = os.environ.get("MANETSIM_PROCESSES")
+        if env:
+            processes = int(env)
+        else:
+            processes = os.cpu_count() or 1
+    if processes < 1:
+        raise ValueError(f"process count must be >= 1, got {processes}")
+    return processes
+
+
+class SweepExecutor:
+    """Runs batches of scenario configs on a persistent worker pool.
+
+    Parameters
+    ----------
+    processes:
+        Worker count; ``None`` consults ``MANETSIM_PROCESSES`` then
+        ``os.cpu_count()``. ``1`` executes inline in this process (no
+        pool), which is still logged — never a silent fallback.
+    cache_dir:
+        Root of the on-disk result cache; ``None`` uses
+        ``.manetsim-cache`` in the working directory.
+    use_cache:
+        ``None`` enables the cache unless ``MANETSIM_NO_SWEEP_CACHE=1``.
+    tracer:
+        Receives ``("sweep", ...)`` records describing dispatch and
+        cache behaviour.
+    """
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.processes = _resolve_processes(processes)
+        if use_cache is None:
+            use_cache = os.environ.get("MANETSIM_NO_SWEEP_CACHE") != "1"
+        self.use_cache = use_cache
+        self._cache = _DiskCache(Path(cache_dir or _CACHE_DIR))
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._pool = None
+        #: Dispatch stats for the most recent :meth:`run` call.
+        self.last_workers = 0
+        self.last_chunksize = 0
+        self.last_cache_hits = 0
+        self.last_cache_misses = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _ensure_pool(self, workers: int):
+        if self._pool is not None:
+            return self._pool
+        # fork is fine: workers only compute, and the parent holds no
+        # threads. spawn would re-import the world per worker.
+        ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+        self._pool = ctx.Pool(workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, configs: Sequence[ScenarioConfig]) -> List[MetricsSummary]:
+        """Execute every config; results align with the input order."""
+        n = len(configs)
+        results: List[Optional[MetricsSummary]] = [None] * n
+        hits = 0
+        keys: List[Optional[str]] = [None] * n
+        if self.use_cache:
+            for i, cfg in enumerate(configs):
+                key = config_cache_key(cfg)
+                keys[i] = key
+                cached = self._cache.get(key)
+                if cached is not None:
+                    results[i] = cached
+                    hits += 1
+        pending = [(i, configs[i]) for i in range(n) if results[i] is None]
+        misses = len(pending)
+        self.last_cache_hits = hits
+        self.last_cache_misses = misses
+
+        workers = min(self.processes, max(misses, 1))
+        # Batched dispatch: ~4 chunks per worker keeps the pool load
+        # balanced without one-IPC-per-simulation overhead.
+        chunksize = max(1, misses // (workers * 4))
+        self.last_workers = workers
+        self.last_chunksize = chunksize
+        tracer = self.tracer
+        if tracer.enabled("sweep"):
+            tracer.log(
+                0.0, "sweep", "dispatch", n, misses, hits, workers, chunksize
+            )
+
+        if misses:
+            if workers == 1:
+                # Inline execution (requested, not a fallback): same
+                # code path as the workers, minus the IPC.
+                if tracer.enabled("sweep"):
+                    tracer.log(0.0, "sweep", "serial", misses)
+                computed = [_worker(job) for job in pending]
+            else:
+                pool = self._ensure_pool(self.processes)
+                computed = list(
+                    pool.imap_unordered(_worker, pending, chunksize=chunksize)
+                )
+            for i, summary in computed:
+                results[i] = summary
+                if self.use_cache:
+                    self._cache.put(keys[i], summary)
+        return results  # type: ignore[return-value]
+
+
+# One shared executor per process: pool forks are expensive, and every
+# sweep in a campaign can reuse the same workers.
+_DEFAULT: Optional[SweepExecutor] = None
+
+
+def default_executor(
+    processes: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    tracer: Optional[Tracer] = None,
+    cache_dir: Optional[str] = None,
+) -> SweepExecutor:
+    """The process-wide persistent executor, (re)built on demand.
+
+    A new executor replaces the old one only when the requested worker
+    count changes; cache/tracer settings apply per call.
+    """
+    global _DEFAULT
+    want = _resolve_processes(processes)
+    if _DEFAULT is None or _DEFAULT.processes != want:
+        if _DEFAULT is not None:
+            _DEFAULT.close()
+        _DEFAULT = SweepExecutor(processes=want)
+    if use_cache is not None:
+        _DEFAULT.use_cache = use_cache
+    else:
+        _DEFAULT.use_cache = os.environ.get("MANETSIM_NO_SWEEP_CACHE") != "1"
+    if cache_dir is not None:
+        _DEFAULT._cache = _DiskCache(Path(cache_dir))
+    _DEFAULT.tracer = tracer if tracer is not None else NULL_TRACER
+    return _DEFAULT
+
+
+@atexit.register
+def _shutdown() -> None:  # pragma: no cover - interpreter teardown
+    if _DEFAULT is not None:
+        _DEFAULT.close()

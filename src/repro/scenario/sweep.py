@@ -11,15 +11,14 @@ in the parent.
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..core.trace import Tracer
 from ..stats.aggregate import PointEstimate, aggregate_summaries
 from ..stats.metrics import MetricsSummary
 from .config import ScenarioConfig
-from .run import run_scenario
+from .executor import default_executor
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "sweep_configs"]
 
@@ -44,6 +43,11 @@ class SweepResult:
     cells: Dict[Tuple[str, Any], Dict[str, PointEstimate]]
     #: (protocol, x) -> raw per-replication summaries
     raw: Dict[Tuple[str, Any], List[MetricsSummary]]
+    #: Dispatch metadata from the executor (not simulation results).
+    workers: int = 1
+    chunksize: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def series(self, protocol: str, metric: str) -> List[float]:
         """Metric means across the sweep for one protocol."""
@@ -71,10 +75,6 @@ def sweep_configs(
     return jobs
 
 
-def _worker(cfg: ScenarioConfig) -> MetricsSummary:
-    return run_scenario(cfg)
-
-
 def run_sweep(
     base: ScenarioConfig,
     param: str,
@@ -82,30 +82,33 @@ def run_sweep(
     protocols: Sequence[str],
     replications: int = 3,
     processes: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SweepResult:
-    """Run the full grid, in parallel when more than one CPU is available.
+    """Run the full grid on the persistent sweep executor.
 
     Parameters
     ----------
     processes:
-        Worker count; ``None`` uses ``os.cpu_count()``; ``1`` (or a
-        single-cell grid) runs inline — handy under pytest and for
-        debugging.
+        Worker count; ``None`` consults ``MANETSIM_PROCESSES`` then
+        ``os.cpu_count()``; ``1`` runs inline (logged, never silent) —
+        handy under pytest and for debugging.
+    cache:
+        On-disk result cache toggle; ``None`` follows
+        ``MANETSIM_NO_SWEEP_CACHE``. Cached and fresh summaries are
+        bit-identical, so toggling this never changes results.
+    cache_dir:
+        Cache root override (default ``.manetsim-cache/``).
+    tracer:
+        Receives ``("sweep", ...)`` dispatch records.
     """
     jobs = sweep_configs(base, param, values, protocols, replications)
     configs = [cfg for _point, cfg in jobs]
-    if processes is None:
-        processes = os.cpu_count() or 1
-    processes = min(processes, len(configs))
-
-    if processes <= 1:
-        results = [_worker(c) for c in configs]
-    else:
-        # fork is fine: workers only compute, and the parent holds no
-        # threads. spawn would re-import the world per worker.
-        ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
-        with ctx.Pool(processes) as pool:
-            results = pool.map(_worker, configs, chunksize=1)
+    executor = default_executor(
+        processes=processes, use_cache=cache, tracer=tracer, cache_dir=cache_dir
+    )
+    results = executor.run(configs)
 
     raw: Dict[Tuple[str, Any], List[MetricsSummary]] = {}
     for (point, _cfg), summary in zip(jobs, results):
@@ -118,4 +121,8 @@ def run_sweep(
         protocols=list(protocols),
         cells=cells,
         raw=raw,
+        workers=executor.last_workers,
+        chunksize=executor.last_chunksize,
+        cache_hits=executor.last_cache_hits,
+        cache_misses=executor.last_cache_misses,
     )

@@ -27,6 +27,10 @@ from ..net.stack import Network
 
 __all__ = ["MetricsCollector", "MetricsSummary", "FlowStats"]
 
+# Prime NumPy's quantile machinery: its lazy first-call setup costs
+# ~20 ms, which would otherwise land inside the first measured run.
+np.percentile(np.zeros(1), 95.0)
+
 
 @dataclass
 class FlowStats:
@@ -70,6 +74,11 @@ class MetricsSummary:
     drops_retry: int
     mac_collisions: int
     flows: Dict[int, FlowStats] = field(default_factory=dict)
+    #: Hot-path cache/engine counters (see repro.core.perfcounters);
+    #: attached by Scenario.run. Not a simulation *result*: two runs
+    #: with different caching knobs produce identical metrics but
+    #: different counters.
+    perf: Dict[str, int] = field(default_factory=dict, compare=False)
 
     def row(self) -> Dict[str, float]:
         """Flat dict of the headline metrics (for tables/aggregation)."""

@@ -1,0 +1,11 @@
+"""Shared test environment guards."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(monkeypatch):
+    # Keep sweep runs hermetic: no cross-test cache hits, and nothing
+    # written into the repo tree. Tests that exercise the cache opt in
+    # with run_sweep(cache=True, cache_dir=tmp_path).
+    monkeypatch.setenv("MANETSIM_NO_SWEEP_CACHE", "1")
