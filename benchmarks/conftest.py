@@ -22,16 +22,29 @@ from repro.analysis import current_scale, run_figure_sweep
 from repro.analysis.experiments import PROTOCOL_SET
 from repro.scenario import run_scenario
 
-#: Kernel-bench means (seconds) at the v0 seed commit, measured on the
+#: Kernel-bench means (seconds) at the pre-PR commit, measured on the
 #: reference machine with this exact harness (pytest-benchmark, same
 #: rounds). BENCH_kernel.json reports current numbers against these.
+#: The first five are v0 seed means; the routing/large-scenario entries
+#: were measured at the PR-1 commit (the commit that introduced the
+#: benches' subject code's pre-fast-path form) on the same machine.
 SEED_BASELINE_MEANS = {
     "test_perf_event_throughput": 9.4456e-3,
     "test_perf_event_cancellation": 10.2857e-3,
     "test_perf_propagation_vectorized": 10.4975e-6,
     "test_perf_mobility_positions": 39.0375e-6,
     "test_perf_small_scenario": 60.2912e-3,
+    "test_perf_routing_control": 5.9326e-3,
+    "test_perf_linkcache_get": 5.8616e-3,
+    "test_perf_large_scenario": 2.4331,
 }
+
+#: Benchmark files whose results land in BENCH_kernel.json.
+KERNEL_BENCH_FILES = (
+    "test_perf_kernel",
+    "test_perf_routing_control",
+    "test_perf_large_scenario",
+)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -46,14 +59,17 @@ def pytest_sessionfinish(session, exitstatus):
         return
     kernel = [
         b for b in bs.benchmarks
-        if "test_perf_kernel" in b.fullname and not b.has_error
+        if any(f in b.fullname for f in KERNEL_BENCH_FILES)
+        and not b.has_error
     ]
     if not kernel:
         return
     payload = {
-        "source": "benchmarks/test_perf_kernel.py",
+        "source": "benchmarks/test_perf_kernel.py, "
+                  "benchmarks/test_perf_routing_control.py, "
+                  "benchmarks/test_perf_large_scenario.py",
         "units": "seconds",
-        "baseline": "v0 seed commit means on the reference machine",
+        "baseline": "pre-PR commit means on the reference machine",
         "benchmarks": {},
     }
     for bench in kernel:

@@ -1,0 +1,26 @@
+"""Large-scenario benchmark: the node count the paper's figures need.
+
+One end-to-end 100-node run over the paper-scale 2200 m × 600 m field.
+DSDV is the protocol whose control plane scales worst with N (every
+node periodically dumps a route per destination), so this bench is the
+integration-level complement to ``test_perf_routing_control``: it pays
+the full PHY/MAC/routing stack and catches regressions the isolated
+microbenches cannot.
+"""
+
+from repro.scenario import ScenarioConfig, run_scenario
+
+
+def test_perf_large_scenario(benchmark):
+    """End-to-end cost of a 100-node, 10-second DSDV scenario."""
+    cfg = ScenarioConfig(
+        protocol="dsdv",
+        n_nodes=100,
+        field_size=(2200.0, 600.0),
+        duration=10.0,
+        n_connections=20,
+        traffic_start_window=(0.0, 3.0),
+        seed=5,
+    )
+    summary = benchmark.pedantic(run_scenario, args=(cfg,), rounds=2, iterations=1)
+    assert summary.data_sent > 0

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Fail when BENCH_kernel.json records a perf regression.
+
+Reads a freshly generated ``BENCH_kernel.json`` (emitted by the
+benchmark session hook in ``benchmarks/conftest.py``) and exits
+non-zero if any benchmark's ``speedup_vs_seed`` fell below the floor.
+
+The strict reading of the gate is "no bench slower than its recorded
+baseline" (floor 1.0).  In practice the event-loop benches vary by
+10-15% run-to-run on a loaded single-core runner even for untouched
+code, so the default floor is 0.90: real regressions (a hot path made
+>10% slower) still fail, while scheduler noise does not.  Benches in
+the [floor, 1.0) band are printed as warnings so a slow drift is still
+visible in the job log.
+
+Usage::
+
+    python scripts/check_bench_regression.py [--floor 0.90] [path]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def check(path: pathlib.Path, floor: float) -> int:
+    data = json.loads(path.read_text())
+    benchmarks = data.get("benchmarks", {})
+    if not benchmarks:
+        print(f"error: no benchmarks recorded in {path}", file=sys.stderr)
+        return 2
+
+    failures = []
+    warnings = []
+    for name, entry in sorted(benchmarks.items()):
+        speedup = entry.get("speedup_vs_seed")
+        if speedup is None:
+            print(f"  skip  {name}: no baseline recorded")
+            continue
+        status = "ok"
+        if speedup < floor:
+            failures.append((name, speedup))
+            status = "FAIL"
+        elif speedup < 1.0:
+            warnings.append((name, speedup))
+            status = "warn"
+        print(f"  {status:<5} {name}: {speedup:.2f}x vs baseline")
+
+    for name, speedup in warnings:
+        print(
+            f"warning: {name} at {speedup:.2f}x — below 1.0 but within "
+            f"the {floor:.2f} noise floor"
+        )
+    if failures:
+        for name, speedup in failures:
+            print(
+                f"REGRESSION: {name} at {speedup:.2f}x "
+                f"(floor {floor:.2f})",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"all {len(benchmarks)} benchmarks at or above the floor")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_kernel.json",
+        type=pathlib.Path,
+        help="bench results file (default: BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.90,
+        help="minimum acceptable speedup_vs_seed (default: 0.90)",
+    )
+    args = parser.parse_args(argv)
+    if not args.path.exists():
+        print(f"error: {args.path} not found", file=sys.stderr)
+        return 2
+    return check(args.path, args.floor)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

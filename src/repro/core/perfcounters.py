@@ -32,6 +32,8 @@ class PerfCounters:
         "grid_incremental_updates",
         "heap_compactions",
         "events_pooled",
+        "packets_pooled",
+        "arrivals_pooled",
         "sweep_cache_hits",
         "sweep_cache_misses",
     )
@@ -56,6 +58,10 @@ class PerfCounters:
         self.heap_compactions = 0
         #: Event objects recycled through the freelist.
         self.events_pooled = 0
+        #: Broadcast control packets recycled through the packet pool.
+        self.packets_pooled = 0
+        #: Radio arrival records recycled through the per-radio freelist.
+        self.arrivals_pooled = 0
         #: Sweep cells served from the on-disk result cache.
         self.sweep_cache_hits = 0
         #: Sweep cells actually simulated.

@@ -24,21 +24,22 @@ from collections import OrderedDict
 from typing import Optional, Tuple
 
 from ..core.simulator import Simulator
-from ..net.packet import BROADCAST, Packet
+from ..net.packet import BROADCAST, PACKET_POOL, Packet
 from ..phy.radio import Radio
 from .base import MacLayer
 from .frames import Dot11, Frame, FrameType
 
 __all__ = ["DcfMac"]
 
-# MAC service states.
-_IDLE = "idle"
-_WAIT_MEDIUM = "wait-medium"
-_DIFS = "difs"
-_BACKOFF = "backoff"
-_TX = "tx"
-_WAIT_CTS = "wait-cts"
-_WAIT_ACK = "wait-ack"
+# MAC service states. Small ints: medium_changed fires on every arrival
+# edge and range-checks the three states that can react (1..3).
+_IDLE = 0
+_WAIT_MEDIUM = 1
+_DIFS = 2
+_BACKOFF = 3
+_TX = 4
+_WAIT_CTS = 5
+_WAIT_ACK = 6
 
 
 class DcfMac(MacLayer):
@@ -104,6 +105,8 @@ class DcfMac(MacLayer):
     def send(self, packet: Packet, next_hop: int) -> None:
         if not self.ifq.push(packet, next_hop):
             self.stats.drops_ifq_full += 1
+            # Never transmitted, so no receiver holds a reference.
+            PACKET_POOL.release(packet)
             return
         if self._state == _IDLE:
             self._service()
@@ -129,7 +132,7 @@ class DcfMac(MacLayer):
         return (
             radio._tx_end is not None
             or bool(radio._arrivals)
-            or self.sim.now < self._nav
+            or self.sim._now < self._nav
         )
 
     def _begin_contention(self) -> None:
@@ -167,20 +170,20 @@ class DcfMac(MacLayer):
         # Hot path: the radio notifies on every arrival edge, but only
         # three states care. Check state before computing busy-ness.
         state = self._state
-        if state is not _WAIT_MEDIUM and state is not _DIFS and state is not _BACKOFF:
+        if state < _WAIT_MEDIUM or state > _BACKOFF:
             return
         busy = self._medium_busy()
-        if self._state == _WAIT_MEDIUM:
+        if state == _WAIT_MEDIUM:
             if not busy:
                 self._begin_contention()
             else:
                 self._ensure_nav_wake()
-        elif self._state == _DIFS and busy:
+        elif state == _DIFS and busy:
             self.sim.cancel(self._timer)
             self._timer = None
             self._state = _WAIT_MEDIUM
             self._ensure_nav_wake()
-        elif self._state == _BACKOFF and busy:
+        elif state == _BACKOFF and busy:
             self.sim.cancel(self._timer)
             self._timer = None
             elapsed = self.sim.now - self._backoff_start
@@ -275,7 +278,7 @@ class DcfMac(MacLayer):
                 cts = Frame.cts(self.address, frame.src, max(cts_nav, 0.0))
                 self._schedule_response(cts)
             else:
-                self._set_nav(self.sim.now + frame.nav)
+                self._set_nav(self.sim._now + frame.nav)
         elif ftype == FrameType.CTS:
             if frame.dst == self.address and self._state == _WAIT_CTS:
                 self.sim.cancel(self._timer)
@@ -288,7 +291,7 @@ class DcfMac(MacLayer):
                     self._tx_frame = data
                     self._schedule_response(data, own_exchange=True)
             elif frame.dst != self.address:
-                self._set_nav(self.sim.now + frame.nav)
+                self._set_nav(self.sim._now + frame.nav)
         elif ftype == FrameType.DATA:
             if frame.dst == self.address:
                 ack = Frame.ack(self.address, frame.src)
@@ -297,7 +300,7 @@ class DcfMac(MacLayer):
             elif frame.is_broadcast:
                 self._deliver_up(frame.payload, frame.src, rx_power)
             else:
-                self._set_nav(self.sim.now + frame.nav)
+                self._set_nav(self.sim._now + frame.nav)
                 if self.promiscuous and self.upper is not None:
                     snoop = getattr(self.upper, "snoop", None)
                     if snoop is not None:
@@ -375,9 +378,15 @@ class DcfMac(MacLayer):
     # ----------------------------------------------------------- completion
 
     def _complete_success(self) -> None:
+        current = self._current
         self._current = None
         self._state = _IDLE
         self._cw = Dot11.CW_MIN
+        if current is not None:
+            # A completed broadcast control packet is dead: receivers
+            # consumed it synchronously during the fan-out and never
+            # keep the sender's object (release is a no-op otherwise).
+            PACKET_POOL.release(current[0])
         self._service()
 
     # ------------------------------------------------------------------ nav

@@ -14,7 +14,7 @@ from typing import Optional
 from ..core.errors import PacketError
 from ..net.packet import BROADCAST, Packet
 
-__all__ = ["FrameType", "Frame", "Dot11"]
+__all__ = ["FrameType", "Frame", "Dot11", "reset_frame_uids"]
 
 
 class FrameType:
@@ -49,6 +49,16 @@ class Dot11:
 
 
 _frame_uid = itertools.count()
+
+
+def reset_frame_uids() -> None:
+    """Rewind the frame uid source (scenario start; see packet module).
+
+    The sweep executor reuses worker processes, so without a rewind a
+    cached-vs-fresh pair of runs would disagree on frame uids.
+    """
+    global _frame_uid
+    _frame_uid = itertools.count()
 
 
 class Frame:

@@ -14,7 +14,7 @@ beacons (they all support it) when running over :class:`IdealMac`.
 
 from __future__ import annotations
 
-from ..net.packet import BROADCAST, Packet
+from ..net.packet import BROADCAST, PACKET_POOL, Packet
 from .base import MacLayer
 from .frames import Frame, FrameType
 
@@ -41,6 +41,8 @@ class IdealMac(MacLayer):
     def send(self, packet: Packet, next_hop: int) -> None:
         if not self.ifq.push(packet, next_hop):
             self.stats.drops_ifq_full += 1
+            # Never transmitted, so no receiver holds a reference.
+            PACKET_POOL.release(packet)
             return
         self._try_next()
 
@@ -61,6 +63,9 @@ class IdealMac(MacLayer):
     # ------------------------------------------------------ radio callbacks
 
     def on_transmit_done(self, frame: Frame) -> None:
+        # No ACK/retry: completion is final, and receivers consumed the
+        # payload synchronously (release is a no-op for non-pooled packets).
+        PACKET_POOL.release(frame.payload)
         self.sim.schedule(self.INTERFRAME_GAP, self._release)
 
     def _release(self) -> None:

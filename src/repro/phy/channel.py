@@ -137,7 +137,7 @@ class Channel:
     def transmit(self, src: Radio, frame: Frame, duration: float) -> None:
         """Fan *frame* out from *src* to every detectable receiver."""
         q = self._quantum
-        now = self.sim.now
+        now = self.sim._now
         # Position epoch: geometry is sampled on a quantized clock so
         # consecutive frames of one exchange share a snapshot.
         tq = now if q <= 0.0 else int(now / q) * q
@@ -260,8 +260,9 @@ class Channel:
         # two separate events used to fire in).
         ended: list = []
         append = ended.append
+        end = self.sim._now + duration
         for radio, p in targets:
-            entry = radio.begin_arrival(frame, p, duration)
+            entry = radio.begin_arrival(frame, p, duration, end)
             if entry is not None:
                 append((radio, entry))
         self.stats.deliveries_attempted += len(targets)

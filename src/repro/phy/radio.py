@@ -84,9 +84,21 @@ class Radio:
         self.channel = None  # set by Channel.attach
         self.mac = None  # set by the MAC layer
         self.stats = RadioStats()
+        # Threshold constants, flattened out of RadioParams: the arrival
+        # path reads them once per fanned-out frame.
+        self._cs_threshold = params.cs_threshold
+        self._rx_threshold = params.rx_threshold
+        self._capture_ratio = params.capture_ratio
         self._arrivals: List[_Arrival] = []
+        #: Retired arrival entries, recycled by begin_arrival. Bounded
+        #: by the peak number of concurrent arrivals at this radio.
+        self._free: List[_Arrival] = []
         self._rx: Optional[_Arrival] = None
         self._tx_end: Optional[float] = None
+        # Tracer categories are frozen at construction (core.trace), so
+        # the per-arrival `enabled("phy")` check collapses to a bool.
+        self._trace_phy = sim.tracer.enabled("phy")
+        self.perf = sim.perf
 
     # ------------------------------------------------------------- queries
 
@@ -141,50 +153,65 @@ class Radio:
 
     # ------------------------------------------------------------ receiving
 
-    def begin_arrival(self, frame: Frame, power: float, duration: float):
+    def begin_arrival(self, frame: Frame, power: float, duration: float, end: float = -1.0):
         """Channel callback: *frame* starts arriving with *power* watts.
 
         Returns the arrival entry (the channel ends it via
         :meth:`end_arrival` when the frame's airtime elapses), or
-        ``None`` for undetectable signals.
+        ``None`` for undetectable signals. *end* is the precomputed
+        arrival end time (``now + duration``), shared by every receiver
+        of one transmission; omitted by direct unit-test callers.
         """
-        params = self.params
-        if power < params.cs_threshold:
+        if power < self._cs_threshold:
             return None  # undetectable: below the noise visibility floor
-        sim = self.sim
         stats = self.stats
-        entry = _Arrival(frame, power, sim.now + duration)
+        arrivals = self._arrivals
+        if end < 0.0:
+            end = self.sim._now + duration
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry.frame = frame
+            entry.power = power
+            entry.end = end
+            entry.corrupted = False
+            perf = self.perf
+            if perf is not None:
+                perf.arrivals_pooled += 1
+        else:
+            entry = _Arrival(frame, power, end)
+        tx_end = self._tx_end
         # The MAC only needs a notification when the carrier may have
         # flipped idle -> busy; overlapping arrivals leave it busy.
-        was_idle = self._tx_end is None and not self._arrivals
+        was_idle = tx_end is None and not arrivals
 
         rx = self._rx
-        if self._tx_end is not None:
+        if tx_end is not None:
             # Arrivals during our own transmission are unreceivable.
             entry.corrupted = True
             stats.halfduplex_drops += 1
         elif rx is not None:
             # Already decoding: capture or mutual corruption.
-            if rx.power >= params.capture_ratio * power:
+            if rx.power >= self._capture_ratio * power:
                 stats.capture_ignored += 1
             else:
                 rx.corrupted = True
                 entry.corrupted = True
                 stats.collisions += 1
-                tracer = sim.tracer
-                if tracer.enabled("phy"):
-                    tracer.log(
-                        sim.now, "phy", "collision", self.node_id,
+                if self._trace_phy:
+                    sim = self.sim
+                    sim.tracer.log(
+                        sim._now, "phy", "collision", self.node_id,
                         rx.frame.src, frame.src,
                     )
-        elif power >= params.rx_threshold:
+        elif power >= self._rx_threshold:
             # Candidate decode; pre-existing interference may already
             # bury it.
             strongest = 0.0
-            for a in self._arrivals:
+            for a in arrivals:
                 if a.power > strongest:
                     strongest = a.power
-            if power >= params.capture_ratio * strongest:
+            if power >= self._capture_ratio * strongest:
                 self._rx = entry
                 stats.airtime_rx += duration
             else:
@@ -192,7 +219,7 @@ class Radio:
                 stats.collisions += 1
         # else: detectable but too weak to decode -> busy only.
 
-        self._arrivals.append(entry)
+        arrivals.append(entry)
         if was_idle:
             mac = self.mac
             if mac is not None:
@@ -204,13 +231,24 @@ class Radio:
         mac = self.mac
         if entry is self._rx:
             self._rx = None
-            if not entry.corrupted:
+            corrupted = entry.corrupted
+            frame = entry.frame
+            power = entry.power
+            # Recycle before the MAC callback: the entry is out of
+            # _arrivals and fully read, so reentrant begin_arrival
+            # (synchronous responses) may reuse it immediately.
+            entry.frame = None
+            self._free.append(entry)
+            if not corrupted:
                 self.stats.frames_received += 1
                 if mac is not None:
-                    mac.on_frame_received(entry.frame, entry.power)
-        elif self._arrivals or self._tx_end is not None:
-            # Carrier still busy and nothing was delivered: the MAC has
-            # nothing to react to.
-            return
+                    mac.on_frame_received(frame, power)
+        else:
+            entry.frame = None
+            self._free.append(entry)
+            if self._arrivals or self._tx_end is not None:
+                # Carrier still busy and nothing was delivered: the MAC
+                # has nothing to react to.
+                return
         if mac is not None:
             mac.medium_changed()

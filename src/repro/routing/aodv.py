@@ -29,6 +29,7 @@ from ..net.packet import BROADCAST, Packet
 from ..net.sendbuffer import SendBuffer
 from .base import RoutingProtocol
 from .neighbors import NeighborTable
+from .seen import SeenCache
 
 __all__ = ["Aodv", "AodvRoute", "Rreq", "Rrep", "Rerr"]
 
@@ -145,7 +146,7 @@ class Aodv(RoutingProtocol):
         self.table: Dict[int, AodvRoute] = {}
         self.buffer = SendBuffer()
         self._pending: Dict[int, _Pending] = {}
-        self._seen_rreq: Dict[Tuple[int, int], float] = {}
+        self._seen_rreq = SeenCache(horizon=2 * NET_TRAVERSAL_TIME)
         self.hello_interval = hello_interval
         #: RFC 3561 §6.12 local repair (extension; the paper's AODV
         #: predates its wide use, so it defaults off).
@@ -272,7 +273,7 @@ class Aodv(RoutingProtocol):
             dst_seq_known=stale is not None and stale.seq_valid,
             hop_count=0,
         )
-        self._seen_rreq[(self.addr, self.rreq_id)] = self.sim.now
+        self._seen_rreq.insert((self.addr, self.rreq_id), self.sim.now)
         pkt = self.make_control(msg, RREQ_SIZE, ttl=ttl)
         self.send_control(pkt, BROADCAST)
 
@@ -322,11 +323,8 @@ class Aodv(RoutingProtocol):
     # -- RREQ ---------------------------------------------------------------
 
     def _on_rreq(self, packet: Packet, msg: Rreq, prev_hop: int) -> None:
-        key = (msg.orig, msg.rreq_id)
-        if key in self._seen_rreq:
+        if not self._seen_rreq.mark((msg.orig, msg.rreq_id), self.sim.now):
             return
-        self._seen_rreq[key] = self.sim.now
-        self._prune_seen()
 
         hops_to_orig = msg.hop_count + 1
         # Reverse route toward the originator.
@@ -390,13 +388,6 @@ class Aodv(RoutingProtocol):
             )
             fwd = self.make_control(fwd_msg, RREQ_SIZE, ttl=packet.ttl - 1)
             self.send_control(fwd, BROADCAST)
-
-    def _prune_seen(self) -> None:
-        if len(self._seen_rreq) > 2048:
-            cutoff = self.sim.now - 2 * NET_TRAVERSAL_TIME
-            self._seen_rreq = {
-                k: t for k, t in self._seen_rreq.items() if t >= cutoff
-            }
 
     # -- RREP ---------------------------------------------------------------
 

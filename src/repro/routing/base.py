@@ -13,14 +13,25 @@ the paper reports (Broch et al. convention).
 
 from __future__ import annotations
 
+import os
 from typing import Any, Optional
 
 from ..core.errors import PacketError
 from ..core.simulator import Simulator
 from ..mac.base import MacLayer
-from ..net.packet import BROADCAST, Packet, PacketKind
+from ..net.packet import BROADCAST, PACKET_POOL, Packet, PacketKind
 
-__all__ = ["RoutingProtocol", "RoutingStats"]
+__all__ = ["RoutingProtocol", "RoutingStats", "legacy_routing_enabled"]
+
+
+def legacy_routing_enabled() -> bool:
+    """Whether ``MANETSIM_LEGACY_ROUTING`` selects the reference paths.
+
+    Mirrors PR 1's ``MANETSIM_LEGACY_KINEMATICS`` discipline: the
+    optimized control plane is the default, and the A/B determinism
+    tests flip this knob to prove bit-identical metrics.
+    """
+    return os.environ.get("MANETSIM_LEGACY_ROUTING", "") not in ("", "0")
 
 
 class RoutingStats:
@@ -74,6 +85,11 @@ class RoutingProtocol:
         self.rng = rng
         self.stats = RoutingStats()
         self.node = None  # set by the stack builder
+        #: Fast control-plane paths on (False under MANETSIM_LEGACY_ROUTING=1).
+        self._fast = not legacy_routing_enabled()
+        #: Tracer categories are frozen at construction, so the "route"
+        #: gate can be evaluated once instead of per packet.
+        self._trace_route = sim.tracer.enabled("route")
         mac.upper = self
 
     # ------------------------------------------------------------ lifecycle
@@ -126,7 +142,23 @@ class RoutingProtocol:
         dst: int = BROADCAST,
         ttl: int = 1,
     ) -> Packet:
-        """Build a control packet owned by this protocol."""
+        """Build a control packet owned by this protocol.
+
+        Broadcast control (floods, adverts, hellos) comes from the
+        packet pool on the fast path: such packets die at their own
+        transmit completion, so their shells are recyclable.
+        """
+        if dst == BROADCAST and self._fast:
+            return PACKET_POOL.acquire(
+                PacketKind.CONTROL,
+                self.NAME,
+                self.addr,
+                dst,
+                size,
+                created=self.sim.now,
+                ttl=ttl,
+                payload=payload,
+            )
         return Packet(
             PacketKind.CONTROL,
             self.NAME,
@@ -150,8 +182,8 @@ class RoutingProtocol:
         """
         self.stats.control_packets += 1
         self.stats.control_bytes += packet.size
-        tracer = self.sim.tracer
-        if tracer.enabled("route"):
+        if self._trace_route:
+            tracer = self.sim.tracer
             tracer.log(
                 self.sim.now, "route", "ctl-tx", self.addr, self.NAME,
                 type(packet.payload).__name__, next_hop, packet.size,
@@ -176,8 +208,8 @@ class RoutingProtocol:
                 self.stats.drops_ttl += 1
                 return False
             self.stats.data_forwarded += 1
-        tracer = self.sim.tracer
-        if tracer.enabled("route"):
+        if self._trace_route:
+            tracer = self.sim.tracer
             tracer.log(
                 self.sim.now, "route", "data-fwd" if forwarded else "data-tx",
                 self.addr, packet.src, packet.dst, next_hop, packet.uid,

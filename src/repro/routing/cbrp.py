@@ -26,8 +26,9 @@ from typing import Dict, List, Optional, Tuple
 from ..net.packet import BROADCAST, Packet
 from ..net.sendbuffer import SendBuffer
 from .base import RoutingProtocol
-from .dsr import RouteCache
+from .dsr import SEEN_RREQ_HORIZON, RouteCache
 from .neighbors import NeighborTable
+from .seen import SeenCache
 
 __all__ = ["Cbrp", "CbrpHello", "CbrpRreq", "CbrpRrep", "CbrpRerr", "UNDECIDED", "MEMBER", "HEAD"]
 
@@ -109,7 +110,7 @@ class Cbrp(RoutingProtocol):
         self.buffer = SendBuffer()
         self.rreq_id = 0
         self._pending: Dict[int, _Pending] = {}
-        self._seen_rreq: Dict[Tuple[int, int], float] = {}
+        self._seen_rreq = SeenCache(horizon=SEEN_RREQ_HORIZON)
         #: When a lower-id competing head was first heard (contention).
         self._contend_since: Optional[float] = None
         #: Local repairs performed (ablation metric).
@@ -274,7 +275,7 @@ class Cbrp(RoutingProtocol):
     def _send_rreq(self, dst: int) -> None:
         self.rreq_id += 1
         msg = CbrpRreq(self.addr, self.rreq_id, dst, record=(self.addr,))
-        self._seen_rreq[(self.addr, self.rreq_id)] = self.sim.now
+        self._seen_rreq.insert((self.addr, self.rreq_id), self.sim.now)
         size = RREQ_BASE_SIZE + ADDR_SIZE
         pkt = self.make_control(msg, size, ttl=FLOOD_TTL)
         self.send_control(pkt, BROADCAST)
@@ -322,13 +323,8 @@ class Cbrp(RoutingProtocol):
     def _on_rreq(self, packet: Packet, msg: CbrpRreq) -> None:
         if self.addr in msg.record:
             return
-        key = (msg.orig, msg.rreq_id)
-        if key in self._seen_rreq:
+        if not self._seen_rreq.mark((msg.orig, msg.rreq_id), self.sim.now):
             return
-        self._seen_rreq[key] = self.sim.now
-        if len(self._seen_rreq) > 2048:
-            cutoff = self.sim.now - 30.0
-            self._seen_rreq = {k: t for k, t in self._seen_rreq.items() if t >= cutoff}
 
         self.cache.add((self.addr,) + tuple(reversed(msg.record)), self.sim.now)
 

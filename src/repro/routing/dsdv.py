@@ -24,8 +24,7 @@ is no discovery to fall back on.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..net.packet import BROADCAST, Packet
 from .base import RoutingProtocol
@@ -40,19 +39,50 @@ ENTRY_SIZE = 12
 HEADER_SIZE = 8
 
 
-@dataclass
 class DsdvRoute:
-    """One routing-table entry."""
+    """One routing-table entry.
 
-    dst: int
-    next_hop: int
-    metric: float
-    seq: int
-    changed: bool = False
+    A ``__slots__`` class rather than a dataclass: route fields are read
+    per advert entry on the hottest control-plane path, and slot access
+    is measurably cheaper than dataclass instance-dict access.
+    """
+
+    __slots__ = ("dst", "next_hop", "metric", "seq", "changed")
+
+    def __init__(
+        self,
+        dst: int,
+        next_hop: int,
+        metric: float,
+        seq: int,
+        changed: bool = False,
+    ):
+        self.dst = dst
+        self.next_hop = next_hop
+        self.metric = metric
+        self.seq = seq
+        self.changed = changed
 
     @property
     def valid(self) -> bool:
         return self.metric < INFINITY
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DsdvRoute):
+            return NotImplemented
+        return (
+            self.dst == other.dst
+            and self.next_hop == other.next_hop
+            and self.metric == other.metric
+            and self.seq == other.seq
+            and self.changed == other.changed
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DsdvRoute(dst={self.dst}, next_hop={self.next_hop}, "
+            f"metric={self.metric}, seq={self.seq}, changed={self.changed})"
+        )
 
 
 class _Advert:
@@ -93,6 +123,19 @@ class Dsdv(RoutingProtocol):
         #: Own even sequence number, bumped at every advertisement.
         self.seq = 0
         self._trigger_pending = False
+        # Fast-path mirrors of the table: the serialized advert triples
+        # in table (insertion) order, a dst -> index map into them, and
+        # the set of dsts with a pending changed flag. Dumps then reuse
+        # the serialized list instead of re-walking the route objects.
+        self._entries: List[Tuple[int, float, int]] = []
+        self._epos: Dict[int, int] = {}
+        self._changed: Set[int] = set()
+        # Flat per-destination arrays indexed by node id (-1 = no
+        # route). Advert processing is dominated by stale entries, and
+        # rejecting them on a C-level list index beats a dict probe
+        # plus route-object attribute loads.
+        self._seq_by_dst: List[int] = []
+        self._metric_by_dst: List[float] = []
 
     # ------------------------------------------------------------ lifecycle
 
@@ -118,7 +161,65 @@ class Dsdv(RoutingProtocol):
         self._trigger_pending = False
         self._broadcast_update(full=False)
 
+    def _resync(self) -> None:
+        """Rebuild the serialized mirrors from ``table`` (tests poke it)."""
+        entries: List[Tuple[int, float, int]] = []
+        epos: Dict[int, int] = {}
+        changed: Set[int] = set()
+        size = max(self.table, default=-1) + 1
+        seq_l = [-1] * size
+        met_l = [INFINITY] * size
+        for dst, route in self.table.items():
+            epos[dst] = len(entries)
+            entries.append((dst, route.metric, route.seq))
+            seq_l[dst] = route.seq
+            met_l[dst] = route.metric
+            if route.changed:
+                changed.add(dst)
+        self._entries = entries
+        self._epos = epos
+        self._changed = changed
+        self._seq_by_dst = seq_l
+        self._metric_by_dst = met_l
+
+    def _clear_changed(self) -> None:
+        table = self.table
+        for dst in self._changed:
+            table[dst].changed = False
+        self._changed.clear()
+
     def _broadcast_update(self, full: bool) -> None:
+        if not self._fast:
+            self._broadcast_update_legacy(full)
+            return
+        if len(self._entries) != len(self.table):
+            self._resync()
+        self.seq += 2
+        if full:
+            entries = [(self.addr, 0.0, self.seq)]
+            entries += self._entries
+            if self._changed:
+                self._clear_changed()
+        else:
+            if not self._changed:
+                if self.sim.now > 0:
+                    # Nothing actually changed; suppress a pure
+                    # self-advert trigger (the periodic dump carries it).
+                    return
+                entries = [(self.addr, 0.0, self.seq)]
+            else:
+                entries = [(self.addr, 0.0, self.seq)]
+                all_entries = self._entries
+                epos = self._epos
+                for i in sorted(epos[d] for d in self._changed):
+                    entries.append(all_entries[i])
+                self._clear_changed()
+        size = HEADER_SIZE + ENTRY_SIZE * len(entries)
+        pkt = self.make_control(_Advert(entries), size)
+        self.send_control(pkt, BROADCAST)
+
+    def _broadcast_update_legacy(self, full: bool) -> None:
+        """Reference implementation (MANETSIM_LEGACY_ROUTING=1)."""
         self.seq += 2
         entries: List[Tuple[int, float, int]] = [(self.addr, 0.0, self.seq)]
         for route in self.table.values():
@@ -136,6 +237,92 @@ class Dsdv(RoutingProtocol):
     # -------------------------------------------------------------- receive
 
     def on_control(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        if not self._fast:
+            self._on_control_legacy(packet, prev_hop, rx_power)
+            return
+        # Hot path: a 100-node run processes tens of thousands of
+        # adverts with ~N entries each. Local bindings and slot access
+        # keep the per-entry cost down; the serialized mirrors are
+        # updated in place so dumps need not re-walk the table.
+        advert: _Advert = packet.payload
+        table = self.table
+        if len(self._entries) != len(table):
+            self._resync()
+        table_get = table.get
+        entries_l = self._entries
+        epos = self._epos
+        epos_get = epos.get
+        changed_set = self._changed
+        seq_l = self._seq_by_dst
+        met_l = self._metric_by_dst
+        n_flat = len(seq_l)
+        addr = self.addr
+        changed_any = False
+        for dst, metric, seq in advert.entries:
+            # Flat-array pre-filter: stale entries (seq older than ours,
+            # or equal seq without a better metric) are the dominant
+            # outcome and never mutate state, so reject them on two
+            # C-level list indexes before touching the route objects.
+            # Slots hold -1/inf until a route exists (entries about a
+            # missing route — including our own address — fall through).
+            if dst < n_flat:
+                cur_seq = seq_l[dst]
+                if seq < cur_seq or (seq == cur_seq and metric + 1 >= met_l[dst]):
+                    continue
+            if dst == addr:
+                # Odd (broken) sequence about us: answer with a fresh
+                # even one so the network relearns the route quickly.
+                if seq % 2 == 1 and seq > self.seq:
+                    self.seq = seq + 1
+                    changed_any = True
+                continue
+            cur = table_get(dst)
+            if cur is None:
+                if metric < INFINITY:
+                    new_metric = metric + 1
+                    table[dst] = DsdvRoute(dst, prev_hop, new_metric, seq, True)
+                    epos[dst] = len(entries_l)
+                    entries_l.append((dst, new_metric, seq))
+                    if dst >= n_flat:
+                        seq_l.extend([-1] * (dst + 1 - n_flat))
+                        met_l.extend([INFINITY] * (dst + 1 - n_flat))
+                        n_flat = dst + 1
+                    seq_l[dst] = seq
+                    met_l[dst] = new_metric
+                    changed_set.add(dst)
+                    changed_any = True
+                continue
+            cur_seq = cur.seq
+            if seq < cur_seq:
+                continue  # stale (flat arrays were behind a test poke)
+            new_metric = metric + 1 if metric < INFINITY else INFINITY
+            if seq > cur_seq or new_metric < cur.metric:
+                # Adoption always changes a field (a newer seq differs
+                # from cur.seq; an equal seq requires a better metric),
+                # so the changed flag is set unconditionally.
+                cur.next_hop = prev_hop
+                cur.metric = new_metric
+                cur.seq = seq
+                cur.changed = True
+                i = epos_get(dst)
+                if i is None:
+                    epos[dst] = len(entries_l)
+                    entries_l.append((dst, new_metric, seq))
+                else:
+                    entries_l[i] = (dst, new_metric, seq)
+                if dst >= n_flat:
+                    seq_l.extend([-1] * (dst + 1 - n_flat))
+                    met_l.extend([INFINITY] * (dst + 1 - n_flat))
+                    n_flat = dst + 1
+                seq_l[dst] = seq
+                met_l[dst] = new_metric
+                changed_set.add(dst)
+                changed_any = True
+        if changed_any:
+            self._schedule_trigger()
+
+    def _on_control_legacy(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
+        """Reference implementation (MANETSIM_LEGACY_ROUTING=1)."""
         advert: _Advert = packet.payload
         changed_any = False
         for dst, metric, seq in advert.entries:
@@ -202,6 +389,9 @@ class Dsdv(RoutingProtocol):
 
     def link_failed(self, packet: Packet, next_hop: int) -> None:
         """Mark every route through *next_hop* broken (metric ∞, odd seq)."""
+        fast = self._fast
+        if fast and len(self._entries) != len(self.table):
+            self._resync()
         broke = False
         for route in self.table.values():
             if route.next_hop == next_hop and route.valid:
@@ -209,6 +399,14 @@ class Dsdv(RoutingProtocol):
                 route.seq += 1  # odd: flagged by the destination's owner rule
                 route.changed = True
                 broke = True
+                if fast:
+                    i = self._epos.get(route.dst)
+                    if i is not None:
+                        self._entries[i] = (route.dst, INFINITY, route.seq)
+                    if route.dst < len(self._seq_by_dst):
+                        self._seq_by_dst[route.dst] = route.seq
+                        self._metric_by_dst[route.dst] = INFINITY
+                    self._changed.add(route.dst)
         # Purge queued packets toward the dead neighbor: without a valid
         # route they would only burn retries.
         self.mac.purge_next_hop(next_hop)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..net.packet import BROADCAST, Packet
 from ..net.sendbuffer import SendBuffer
 from .base import RoutingProtocol
+from .seen import SeenCache
 
 __all__ = ["Dsr", "RouteCache", "DsrRreq", "DsrRrep", "DsrRerr"]
 
@@ -34,6 +35,9 @@ RREQ_BASE_SIZE = 12
 RREP_BASE_SIZE = 12
 RERR_SIZE = 16
 ADDR_SIZE = 4
+
+#: Seconds a seen RREQ id stays relevant for duplicate suppression.
+SEEN_RREQ_HORIZON = 30.0
 
 #: Maximum times one packet may be salvaged.
 MAX_SALVAGE = 2
@@ -170,7 +174,7 @@ class Dsr(RoutingProtocol):
         self.reply_from_cache = reply_from_cache
         self.rreq_id = 0
         self._pending: Dict[int, _Pending] = {}
-        self._seen_rreq: Dict[Tuple[int, int], float] = {}
+        self._seen_rreq = SeenCache(horizon=SEEN_RREQ_HORIZON)
         #: Successfully salvaged packets (metric for the cache ablation).
         self.salvages = 0
 
@@ -223,7 +227,7 @@ class Dsr(RoutingProtocol):
     def _send_rreq(self, dst: int, ttl: int) -> None:
         self.rreq_id += 1
         msg = DsrRreq(self.addr, self.rreq_id, dst, record=(self.addr,))
-        self._seen_rreq[(self.addr, self.rreq_id)] = self.sim.now
+        self._seen_rreq.insert((self.addr, self.rreq_id), self.sim.now)
         size = RREQ_BASE_SIZE + ADDR_SIZE
         pkt = self.make_control(msg, size, ttl=ttl)
         self.send_control(pkt, BROADCAST)
@@ -269,13 +273,8 @@ class Dsr(RoutingProtocol):
     def _on_rreq(self, packet: Packet, msg: DsrRreq) -> None:
         if self.addr in msg.record:
             return
-        key = (msg.orig, msg.rreq_id)
-        if key in self._seen_rreq:
+        if not self._seen_rreq.mark((msg.orig, msg.rreq_id), self.sim.now):
             return
-        self._seen_rreq[key] = self.sim.now
-        if len(self._seen_rreq) > 2048:
-            cutoff = self.sim.now - 30.0
-            self._seen_rreq = {k: t for k, t in self._seen_rreq.items() if t >= cutoff}
 
         # Learn the reverse path back to the originator.
         back = (self.addr,) + tuple(reversed(msg.record))

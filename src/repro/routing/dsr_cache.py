@@ -10,17 +10,28 @@ never existed. Measuring that trade is ablation A7.
 
 Drop-in replacement for :class:`~repro.routing.dsr.RouteCache` (same
 ``add`` / ``get`` / ``remove_link`` / ``purge_expired`` surface).
+
+Fast path (default; ``MANETSIM_LEGACY_ROUTING=1`` selects the reference
+implementation): one BFS tree is memoized and shared across
+destinations, invalidated by a structural epoch (link added, removed,
+or evicted) or by leaving its time-validity window ``[build time,
+earliest live-link expiry)``. Pure expiry *refreshes* of an existing
+link do not invalidate — the graph structure is unchanged. The result
+is one BFS per topology change instead of one per lookup.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .base import legacy_routing_enabled
 
 __all__ = ["LinkCache"]
 
 
 class LinkCache:
-    """Per-link route cache with Dijkstra lookup.
+    """Per-link route cache with shortest-path lookup.
 
     Parameters
     ----------
@@ -38,6 +49,19 @@ class LinkCache:
         self.max_links = max_links
         #: (a, b) normalized with a < b  ->  expiry time.
         self._links: Dict[Tuple[int, int], float] = {}
+        self._fast = not legacy_routing_enabled()
+        #: Structural epoch: bumped when the link *set* changes (add of a
+        #: new link, removal, eviction, or an expiry purge that dropped
+        #: something) — never on a pure refresh of an existing link.
+        self._mut = 0
+        #: Lower bound on the earliest stored expiry (lazy purge gate).
+        self._min_expiry = math.inf
+        # Memoized BFS tree shared across destinations.
+        self._tree_mut = -1
+        self._tree_t = 0.0
+        self._tree_min_exp = -math.inf
+        self._prev: Dict[int, int] = {}
+        self._paths: Dict[int, Tuple[int, ...]] = {}
 
     def __len__(self) -> int:
         return len(self._links)
@@ -53,27 +77,109 @@ class LinkCache:
         path = tuple(path)
         if len(path) < 2 or len(set(path)) != len(path):
             return
+        links = self._links
         expiry = now + self.lifetime
+        if expiry < self._min_expiry:
+            self._min_expiry = expiry
         for a, b in zip(path, path[1:]):
-            key = self._key(a, b)
-            if expiry > self._links.get(key, 0.0):
-                self._links[key] = expiry
-        if len(self._links) > self.max_links:
-            for key, _exp in sorted(self._links.items(), key=lambda kv: kv[1])[
-                : len(self._links) - self.max_links
+            key = (a, b) if a < b else (b, a)
+            cur = links.get(key)
+            if cur is None:
+                links[key] = expiry
+                self._mut += 1
+            elif expiry > cur:
+                links[key] = expiry
+        if len(links) > self.max_links:
+            for key, _exp in sorted(links.items(), key=lambda kv: kv[1])[
+                : len(links) - self.max_links
             ]:
-                del self._links[key]
+                del links[key]
+            self._mut += 1
 
     def remove_link(self, a: int, b: int) -> None:
-        self._links.pop(self._key(a, b), None)
+        if self._links.pop(self._key(a, b), None) is not None:
+            self._mut += 1
 
     def purge_expired(self, now: float) -> None:
+        """Drop dead links. Amortized: scans only once the earliest
+        stored expiry has actually been passed."""
+        if self._fast and now < self._min_expiry:
+            return
+        before = len(self._links)
         self._links = {k: e for k, e in self._links.items() if e > now}
+        self._min_expiry = min(self._links.values(), default=math.inf)
+        if len(self._links) != before:
+            self._mut += 1
 
     # -------------------------------------------------------------- lookup
 
     def get(self, dst: int, now: float) -> Optional[Tuple[int, ...]]:
         """Shortest live path owner→dst over the link graph, or None."""
+        if not self._fast:
+            return self._get_legacy(dst, now)
+        if dst == self.owner:
+            return None
+        if (
+            self._tree_mut != self._mut
+            or now < self._tree_t
+            or now >= self._tree_min_exp
+        ):
+            self._build_tree(now)
+        path = self._paths.get(dst)
+        if path is not None:
+            return path
+        prev = self._prev
+        if dst not in prev:
+            return None
+        rpath = [dst]
+        owner = self.owner
+        node = dst
+        while node != owner:
+            node = prev[node]
+            rpath.append(node)
+        rpath.reverse()
+        path = tuple(rpath)
+        self._paths[dst] = path
+        return path
+
+    def _build_tree(self, now: float) -> None:
+        """Full deterministic BFS from the owner over live links.
+
+        Produces exactly the prev-pointers the reference per-query BFS
+        would: same sorted-neighbor, level-order traversal — the only
+        difference is that it does not stop at any one destination.
+        """
+        adj: Dict[int, List[int]] = {}
+        min_exp = math.inf
+        for (a, b), expiry in self._links.items():
+            if expiry > now:
+                if expiry < min_exp:
+                    min_exp = expiry
+                adj.setdefault(a, []).append(b)
+                adj.setdefault(b, []).append(a)
+        prev: Dict[int, int] = {}
+        self._tree_mut = self._mut
+        self._tree_t = now
+        self._tree_min_exp = min_exp
+        self._prev = prev
+        self._paths = {}
+        owner = self.owner
+        if owner not in adj:
+            return
+        frontier = [owner]
+        seen = {owner}
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in sorted(adj.get(u, ())):
+                    if v not in seen:
+                        seen.add(v)
+                        prev[v] = u
+                        nxt.append(v)
+            frontier = nxt
+
+    def _get_legacy(self, dst: int, now: float) -> Optional[Tuple[int, ...]]:
+        """Reference implementation (MANETSIM_LEGACY_ROUTING=1)."""
         if dst == self.owner:
             return None
         adj: Dict[int, Set[int]] = {}

@@ -8,10 +8,9 @@ are judged against.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 from ..net.packet import BROADCAST, Packet
 from .base import RoutingProtocol
+from .seen import SeenSet
 
 __all__ = ["Flooding"]
 
@@ -26,20 +25,11 @@ class Flooding(RoutingProtocol):
 
     def __init__(self, sim, node_id, mac, rng):
         super().__init__(sim, node_id, mac, rng)
-        self._seen: "OrderedDict[int, None]" = OrderedDict()
-        self._delivered: "OrderedDict[int, None]" = OrderedDict()
-
-    def _mark(self, cache: OrderedDict, key: int) -> bool:
-        """True if *key* was new; inserts and bounds the cache."""
-        if key in cache:
-            return False
-        cache[key] = None
-        if len(cache) > self.SEEN_CAP:
-            cache.popitem(last=False)
-        return True
+        self._seen = SeenSet(self.SEEN_CAP)
+        self._delivered = SeenSet(self.SEEN_CAP)
 
     def originate(self, packet: Packet) -> None:
-        self._mark(self._seen, packet.origin_uid)
+        self._seen.mark(packet.origin_uid)
         self.send_data(packet, BROADCAST, forwarded=False)
 
     def deliver(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
@@ -47,10 +37,10 @@ class Flooding(RoutingProtocol):
         # network destination, so the dispatch differs from the base:
         # every copy is a candidate for both delivery and re-flood.
         key = packet.origin_uid
-        if not self._mark(self._seen, key):
+        if not self._seen.mark(key):
             return
         if packet.dst == self.addr or packet.is_broadcast:
-            if self._mark(self._delivered, key):
+            if self._delivered.mark(key):
                 self.node.deliver_local(packet, prev_hop)
             if not packet.is_broadcast:
                 return  # unicast reached its target: stop the flood here

@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
-from ..net.packet import BROADCAST, Packet
+from ..net.packet import BROADCAST, PACKET_POOL, Packet
 from .base import RoutingProtocol
 from .neighbors import NeighborTable
+from .seen import SeenCache
 
 __all__ = ["Olsr", "OlsrHello", "OlsrTc"]
 
@@ -76,7 +77,7 @@ class Olsr(RoutingProtocol):
         self.ansn = 0
         #: orig -> (ansn, advertised selector set, expiry)
         self.topology: Dict[int, Tuple[int, Set[int], float]] = {}
-        self._seen_tc: Dict[Tuple[int, int], float] = {}
+        self._seen_tc = SeenCache(horizon=TOP_HOLD, cap=4096)
         self._routes: Dict[int, Tuple[int, int]] = {}  # dst -> (next_hop, dist)
         self._dirty = True
 
@@ -184,19 +185,14 @@ class Olsr(RoutingProtocol):
             msg = OlsrTc(self.addr, self.ansn, tuple(sorted(selectors)))
             size = TC_BASE_SIZE + ADDR_SIZE * len(selectors)
             pkt = self.make_control(msg, size, ttl=32)
-            self._seen_tc[(self.addr, self.ansn)] = self.sim.now
+            self._seen_tc.insert((self.addr, self.ansn), self.sim.now)
             self.send_control(pkt, BROADCAST)
         self.sim.schedule(TC_INTERVAL, self._tc_tick)
 
     def _on_tc(self, packet: Packet, msg: OlsrTc, prev_hop: int) -> None:
         now = self.sim.now
-        key = (msg.orig, msg.ansn)
-        duplicate = key in self._seen_tc
+        duplicate = not self._seen_tc.mark((msg.orig, msg.ansn), now)
         if not duplicate:
-            self._seen_tc[key] = now
-            if len(self._seen_tc) > 4096:
-                cutoff = now - TOP_HOLD
-                self._seen_tc = {k: t for k, t in self._seen_tc.items() if t >= cutoff}
             cur = self.topology.get(msg.orig)
             if cur is None or msg.ansn >= cur[0]:
                 self.topology[msg.orig] = (msg.ansn, set(msg.selectors), now + TOP_HOLD)
@@ -212,7 +208,7 @@ class Olsr(RoutingProtocol):
             else self.neighbors.is_neighbor(prev_hop, now, bidirectional_only=True)
         )
         if relay:
-            fwd = packet.copy()
+            fwd = PACKET_POOL.acquire_copy(packet)
             fwd.ttl -= 1
             self.send_control(fwd, BROADCAST)
 

@@ -193,10 +193,21 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
     import os
 
     from ..core.trace import Tracer
+    from ..mac.frames import reset_frame_uids
+    from ..net.packet import PACKET_POOL, reset_packet_uids
+    from ..routing.base import legacy_routing_enabled
 
     legacy = os.environ.get("MANETSIM_LEGACY_KINEMATICS") == "1"
+    # Persistent sweep workers reuse one process for many runs: rewind
+    # the uid sources so cached and fresh runs see identical sequences,
+    # and re-arm the packet pool for this run (no cross-run sharing).
+    reset_packet_uids()
+    reset_frame_uids()
+    PACKET_POOL.clear()
+    PACKET_POOL.enabled = not legacy_routing_enabled()
     tracer = Tracer(cfg.trace) if cfg.trace else None
     sim = Simulator(seed=cfg.run_seed, tracer=tracer)
+    PACKET_POOL.perf = sim.perf
     propagation = _make_propagation(cfg)
     params = WAVELAN_914MHZ
     models = _make_mobility(cfg, sim)

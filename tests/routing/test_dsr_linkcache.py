@@ -69,6 +69,20 @@ class TestLinkCacheUnit:
             c.add((100 + i, 200 + i), now=t)
         assert len(c) == 3
 
+    def test_max_links_eviction_order(self):
+        """Eviction removes the earliest-expiry links, and a refresh
+        rescues a link that would otherwise be stalest."""
+        c = LinkCache(owner=0, max_links=3, lifetime=10.0)
+        c.add((0, 1), now=0.0)  # expiry 10
+        c.add((0, 2), now=1.0)  # expiry 11
+        c.add((0, 3), now=2.0)  # expiry 12
+        c.add((0, 1), now=5.0)  # refresh: expiry 15, no longer stalest
+        c.add((0, 4), now=6.0)  # overflow: evicts (0, 2), now stalest
+        assert c.get(1, 6.5) == (0, 1)
+        assert c.get(2, 6.5) is None
+        assert c.get(3, 6.5) == (0, 3)
+        assert c.get(4, 6.5) == (0, 4)
+
     def test_loop_path_rejected(self):
         c = LinkCache(owner=0)
         c.add((0, 1, 0), now=0.0)

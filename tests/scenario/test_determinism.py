@@ -5,6 +5,9 @@ never a model change: with the same seed, the vectorized engine and the
 legacy per-node paths (``MANETSIM_LEGACY_KINEMATICS=1``) must produce
 bit-identical metrics, and the batch ``positions(t)`` evaluation must
 match every mobility model's scalar ``position(t)``.
+
+The same discipline covers the routing control-plane fast path
+(``MANETSIM_LEGACY_ROUTING=1`` selects the reference implementations).
 """
 
 import pytest
@@ -60,6 +63,33 @@ def test_vectorized_matches_legacy_end_to_end(protocol, monkeypatch):
     assert legacy.perf["batch_position_evals"] == 0
     assert fast.perf["fanout_cache_hits"] > 0
     assert legacy.perf["fanout_cache_hits"] == 0
+
+    # Bit-identical results: whole summary and every per-flow delay.
+    assert fast == legacy
+    assert set(fast.flows) == set(legacy.flows)
+    for fid, flow in fast.flows.items():
+        assert flow.delays == legacy.flows[fid].delays
+
+
+@pytest.mark.parametrize("protocol", ["aodv", "dsr", "dsdv", "cbrp"])
+def test_routing_fast_path_matches_legacy(protocol, monkeypatch):
+    """Full-scenario A/B: routing fast path vs legacy, same seed.
+
+    The control-plane fast path (incremental DSDV dumps, LinkCache
+    memoization, seen-set dedup, packet pooling) must be invisible in
+    the results: only perf counters may differ between the two runs.
+    """
+    cfg = ScenarioConfig(protocol=protocol, seed=7, **SMALL)
+
+    monkeypatch.delenv("MANETSIM_LEGACY_ROUTING", raising=False)
+    fast = run_scenario(cfg)
+    monkeypatch.setenv("MANETSIM_LEGACY_ROUTING", "1")
+    legacy = run_scenario(cfg)
+
+    # The knob actually flipped the path: the pool only reclaims
+    # broadcast control packets on the fast path.
+    assert fast.perf["packets_pooled"] > 0
+    assert legacy.perf["packets_pooled"] == 0
 
     # Bit-identical results: whole summary and every per-flow delay.
     assert fast == legacy
