@@ -16,8 +16,10 @@ Layer packages: :mod:`repro.core` (kernel), :mod:`repro.phy`,
 """
 
 from .core import Simulator
+from .faults import FaultPlanConfig
 from .scenario import (
     PROTOCOLS,
+    FailedRun,
     Scenario,
     ScenarioConfig,
     build_scenario,
@@ -32,6 +34,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Simulator",
     "PROTOCOLS",
+    "FailedRun",
+    "FaultPlanConfig",
     "Scenario",
     "ScenarioConfig",
     "build_scenario",

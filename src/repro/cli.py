@@ -12,10 +12,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .analysis.tables import render_kv_table, render_series_table
+from .faults.plan import FaultPlanConfig
 from .scenario import PROTOCOLS, ScenarioConfig, run_scenario, run_sweep
 from .scenario.io import load_config, save_config, sweep_to_csv
 
@@ -41,6 +43,9 @@ def _add_scenario_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mac", default="dcf", choices=["dcf", "ideal"])
     p.add_argument("--no-rtscts", action="store_true", help="disable RTS/CTS")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--faults", metavar="JSON",
+                   help="fault plan file (FaultPlanConfig fields, e.g. "
+                        '{"churn_rate": 0.01, "link_loss": 0.05})')
     p.add_argument("--config", metavar="JSON",
                    help="load the scenario from a JSON file (other scenario "
                         "flags are ignored; --protocol still applies)")
@@ -53,6 +58,10 @@ def _config_from(args, protocol: str) -> ScenarioConfig:
         cfg = load_config(args.config).with_(protocol=protocol)
     else:
         cfg = _config_from_flags(args, protocol)
+    if getattr(args, "faults", None):
+        with open(args.faults) as fh:
+            plan = FaultPlanConfig.from_dict(json.load(fh))
+        cfg = cfg.with_(faults=plan)
     if getattr(args, "save_config", None):
         save_config(cfg, args.save_config)
     return cfg
@@ -78,7 +87,7 @@ def _config_from_flags(args, protocol: str) -> ScenarioConfig:
 
 
 def _summary_pairs(s) -> dict:
-    return {
+    pairs = {
         "packets sent": s.data_sent,
         "packets delivered": s.data_received,
         "packet delivery ratio": round(s.pdr, 4),
@@ -94,6 +103,12 @@ def _summary_pairs(s) -> dict:
             f"{s.drops_ifq} / {s.drops_retry}"
         ),
     }
+    if s.fault_crashes or s.fault_packets_lost or s.fault_downtime:
+        pairs["fault crashes"] = s.fault_crashes
+        pairs["fault downtime (s)"] = round(s.fault_downtime, 1)
+        pairs["fault recovery latency (s)"] = round(s.fault_recovery_latency, 1)
+        pairs["packets lost to faults"] = s.fault_packets_lost
+    return pairs
 
 
 def _perf_pairs(perf: dict) -> dict:
@@ -142,6 +157,9 @@ def cmd_sweep(args) -> int:
         args.protocols,
         replications=args.replications,
         processes=args.processes,
+        resume=args.resume,
+        job_timeout=args.timeout,
+        max_retries=args.retries,
     )
     means = {p: result.series(p, args.metric) for p in args.protocols}
     cis = {
@@ -157,10 +175,20 @@ def cmd_sweep(args) -> int:
         f"[executor: {result.workers} worker(s), chunksize {result.chunksize}, "
         f"cache {result.cache_hits} hit(s) / {result.cache_misses} miss(es)]"
     )
+    if args.resume and result.resumed:
+        print(f"[resumed {result.resumed} finished point(s) from the journal]")
+    for failure in result.failures:
+        print(
+            f"[FAILED point #{failure.index} "
+            f"({failure.config.protocol}, seed {failure.config.seed}, "
+            f"rep {failure.config.replication}): {failure.kind} after "
+            f"{failure.attempts} attempt(s) — {failure.error}]",
+            file=sys.stderr,
+        )
     if args.csv:
         sweep_to_csv(result, args.csv)
         print(f"[wrote {args.csv}]")
-    return 0
+    return 1 if result.failures else 0
 
 
 def cmd_protocols(_args) -> int:
@@ -214,6 +242,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "overhead_pkts", "throughput_bps", "avg_hops"])
     p_swp.add_argument("--csv", metavar="PATH",
                        help="also write every replication's metrics to CSV")
+    p_swp.add_argument("--resume", action="store_true",
+                       help="skip points already finished per the sweep "
+                            "journal (requires the cache)")
+    p_swp.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job wall-clock timeout in seconds "
+                            "(default: MANETSIM_JOB_TIMEOUT or none)")
+    p_swp.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="extra attempts per failed job "
+                            "(default: MANETSIM_JOB_RETRIES or 2)")
     _add_scenario_args(p_swp)
     p_swp.set_defaults(func=cmd_sweep)
 

@@ -2,6 +2,8 @@
 
 from .errors import (
     ConfigurationError,
+    ExecutorError,
+    FaultInjectionError,
     PacketError,
     ProtocolError,
     SchedulingError,
@@ -15,6 +17,8 @@ from . import units
 
 __all__ = [
     "ConfigurationError",
+    "ExecutorError",
+    "FaultInjectionError",
     "PacketError",
     "ProtocolError",
     "SchedulingError",

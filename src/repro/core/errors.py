@@ -13,6 +13,8 @@ __all__ = [
     "SchedulingError",
     "ProtocolError",
     "PacketError",
+    "FaultInjectionError",
+    "ExecutorError",
 ]
 
 
@@ -34,3 +36,11 @@ class ProtocolError(SimulationError):
 
 class PacketError(SimulationError):
     """A packet was malformed or used incorrectly (e.g. missing header)."""
+
+
+class FaultInjectionError(SimulationError):
+    """The fault-injection subsystem was misused or hit an impossible state."""
+
+
+class ExecutorError(SimulationError):
+    """The sweep executor was misconfigured or a dispatched run failed."""

@@ -1,0 +1,6 @@
+"""Deterministic fault injection: failure as a first-class scenario input."""
+
+from .manager import FaultManager, FaultStats
+from .plan import FaultPlanConfig
+
+__all__ = ["FaultManager", "FaultStats", "FaultPlanConfig"]

@@ -112,6 +112,11 @@ class Channel:
         #: src id -> (sample time, eligible ids, powers aligned with them).
         self._memo: dict = {}
         self.perf = sim.perf
+        #: Fault-injection filter (see repro.faults.manager.FaultManager):
+        #: consulted per transmission, after the geometry memo, so the
+        #: memo stays exact. None (the default) leaves the fan-out path
+        #: byte-for-byte identical to the fault-free engine.
+        self.fault_hook = None
 
     # ------------------------------------------------------------- topology
 
@@ -258,6 +263,9 @@ class Channel:
         # *transmission* ends every receiver's arrival and completes the
         # sender's transmit (receivers first, preserving the order the
         # two separate events used to fire in).
+        hook = self.fault_hook
+        if hook is not None:
+            targets = hook.filter_targets(src.node_id, targets, self.sim._now)
         ended: list = []
         append = ended.append
         end = self.sim._now + duration

@@ -39,6 +39,8 @@ class RadioStats:
         "halfduplex_drops",
         "airtime_tx",
         "airtime_rx",
+        "down_tx_drops",
+        "down_rx_drops",
     )
 
     def __init__(self) -> None:
@@ -50,6 +52,9 @@ class RadioStats:
         self.airtime_tx = 0.0
         #: Time spent actively decoding arrivals (successful or not).
         self.airtime_rx = 0.0
+        #: Frames swallowed because this radio was powered off (faults).
+        self.down_tx_drops = 0
+        self.down_rx_drops = 0
 
 
 class _Arrival:
@@ -93,12 +98,40 @@ class Radio:
         #: Retired arrival entries, recycled by begin_arrival. Bounded
         #: by the peak number of concurrent arrivals at this radio.
         self._free: List[_Arrival] = []
+        #: Powered off by fault injection: mute and deaf until power_on.
+        self._down = False
         self._rx: Optional[_Arrival] = None
         self._tx_end: Optional[float] = None
         # Tracer categories are frozen at construction (core.trace), so
         # the per-arrival `enabled("phy")` check collapses to a bool.
         self._trace_phy = sim.tracer.enabled("phy")
         self.perf = sim.perf
+
+    # -------------------------------------------------------------- faults
+
+    @property
+    def is_down(self) -> bool:
+        """Whether fault injection has powered this radio off."""
+        return self._down
+
+    def power_off(self) -> None:
+        """Crash fault: stop hearing and stop reaching the channel.
+
+        Any reception in progress is corrupted (the decode dies with the
+        node); an in-flight transmission is left to complete — its energy
+        is already on the air. The MAC above keeps running against the
+        dead radio so protocol timers survive into recovery.
+        """
+        if self._down:
+            return
+        self._down = True
+        if self._rx is not None:
+            self._rx.corrupted = True
+            self._rx = None
+
+    def power_on(self) -> None:
+        """Recover from a crash fault: resume normal PHY behaviour."""
+        self._down = False
 
     # ------------------------------------------------------------- queries
 
@@ -130,6 +163,14 @@ class Radio:
             raise SimulationError(
                 f"radio {self.node_id} asked to transmit while transmitting"
             )
+        if self._down:
+            # Powered off: the frame goes nowhere, but the MAC's transmit
+            # cycle completes normally so its state machine stays sound.
+            duration = frame.airtime(self.params.bitrate)
+            self._tx_end = self.sim.now + duration
+            self.stats.down_tx_drops += 1
+            self.sim.schedule(duration, self._transmit_done, frame)
+            return duration
         # Transmitting stomps any reception in progress (half duplex).
         if self._rx is not None:
             self._rx.corrupted = True
@@ -162,6 +203,9 @@ class Radio:
         arrival end time (``now + duration``), shared by every receiver
         of one transmission; omitted by direct unit-test callers.
         """
+        if self._down:
+            self.stats.down_rx_drops += 1
+            return None  # powered off: deaf to everything
         if power < self._cs_threshold:
             return None  # undetectable: below the noise visibility floor
         stats = self.stats

@@ -85,6 +85,10 @@ class RoutingProtocol:
         self.rng = rng
         self.stats = RoutingStats()
         self.node = None  # set by the stack builder
+        #: Cleared by fault injection while this node is crashed: a dead
+        #: agent neither processes arrivals nor counts control overhead
+        #: (its timers still fire, but every send is suppressed).
+        self.alive = True
         #: Fast control-plane paths on (False under MANETSIM_LEGACY_ROUTING=1).
         self._fast = not legacy_routing_enabled()
         #: Tracer categories are frozen at construction, so the "route"
@@ -97,6 +101,18 @@ class RoutingProtocol:
     def start(self) -> None:
         """Begin periodic behaviour (timers). Default: nothing."""
 
+    def on_node_down(self) -> None:
+        """Fault hook: this node just crashed. Default: keep all state.
+
+        A crashed router loses nothing but its liveness — tables, caches
+        and sequence numbers survive into recovery exactly as a reboot
+        with persistent storage would. Protocols that model volatile
+        state can override.
+        """
+
+    def on_node_up(self) -> None:
+        """Fault hook: this node just recovered. Default: nothing."""
+
     # ------------------------------------------------------- traffic (down)
 
     def originate(self, packet: Packet) -> None:
@@ -107,6 +123,8 @@ class RoutingProtocol:
 
     def deliver(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
         """Dispatch a received packet: control, local delivery, or forward."""
+        if not self.alive:
+            return  # crashed: nothing is processed while down
         if packet.kind == PacketKind.CONTROL:
             if packet.proto == self.NAME:
                 self.on_control(packet, prev_hop, rx_power)
@@ -179,7 +197,11 @@ class RoutingProtocol:
         """Hand a control packet to the MAC, counting overhead.
 
         Broadcast control is jittered by default; unicast is immediate.
+        Dead nodes (fault injection) send nothing and count nothing —
+        overhead only measures packets that actually reached the air.
         """
+        if not self.alive:
+            return
         self.stats.control_packets += 1
         self.stats.control_bytes += packet.size
         if self._trace_route:
@@ -201,6 +223,8 @@ class RoutingProtocol:
 
         Returns False (and counts the drop) when TTL is exhausted.
         """
+        if not self.alive:
+            return False  # crashed mid-pipeline: the packet dies here
         if forwarded:
             try:
                 packet.decrement_ttl()

@@ -1,8 +1,9 @@
 """Scenario construction, execution, and parameter sweeps."""
 
+from ..faults.plan import FaultPlanConfig
 from .build import Scenario, build_scenario
 from .config import PROTOCOLS, ScenarioConfig
-from .executor import SweepExecutor, config_cache_key, default_executor
+from .executor import FailedRun, SweepExecutor, config_cache_key, default_executor
 from .run import run_replications, run_scenario
 from .sweep import SweepResult, run_sweep, sweep_configs
 
@@ -11,6 +12,8 @@ __all__ = [
     "build_scenario",
     "PROTOCOLS",
     "ScenarioConfig",
+    "FaultPlanConfig",
+    "FailedRun",
     "SweepExecutor",
     "config_cache_key",
     "default_executor",

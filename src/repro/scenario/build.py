@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..core.simulator import Simulator
+from ..faults.manager import FaultManager
 from ..mac.dcf import DcfMac
 from ..mac.ideal import IdealMac
 from ..mobility import (
@@ -56,14 +57,20 @@ class Scenario:
     network: Network
     sources: List
     collector: MetricsCollector
+    #: Present only when the config carries a fault plan.
+    faults: Optional[FaultManager] = None
 
     def run(self):
         """Execute to ``config.duration`` and return the metrics summary."""
         self.network.start_routing()
         for src in self.sources:
             src.begin()
+        if self.faults is not None:
+            self.faults.start()
         self.sim.run(until=self.config.duration)
         summary = self.collector.finish(self.network, self.config.duration)
+        if self.faults is not None:
+            self.faults.apply(summary, self.config.duration)
         summary.perf = self.sim.perf.as_dict()
         return summary
 
@@ -235,6 +242,10 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
         sim.rng.stream("traffic.pattern"),
         start_window=cfg.traffic_start_window,
     )
+    faults = None
+    if cfg.faults is not None:
+        faults = FaultManager(sim, network, cfg.faults, cfg.duration)
+
     sources = []
     for conn in connections:
         collector.flow(conn.flow_id, conn.src, conn.dst)
@@ -265,4 +276,4 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
                 on_send=collector.on_send,
             )
         sources.append(src)
-    return Scenario(cfg, sim, network, sources, collector)
+    return Scenario(cfg, sim, network, sources, collector, faults)

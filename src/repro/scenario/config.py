@@ -12,6 +12,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from ..core.errors import ConfigurationError
+from ..faults.plan import FaultPlanConfig
 
 __all__ = ["ScenarioConfig", "PROTOCOLS"]
 
@@ -88,6 +89,12 @@ class ScenarioConfig:
     #: sampling error at 0.1 m for the paper's 20 m/s top speed.
     position_quantum: float = 0.005
 
+    # --- fault injection ---------------------------------------------------
+    #: Deterministic fault plan (node churn, link impairment, energy
+    #: death, queue overload); ``None`` bypasses the fault subsystem
+    #: entirely — the bit-identical pre-fault code path.
+    faults: Optional[FaultPlanConfig] = None
+
     # --- observability -----------------------------------------------------
     #: Trace categories to record ("route", "mac", "phy") or "all".
     trace: Tuple[str, ...] = ()
@@ -128,6 +135,17 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"measure_from must be in [0, duration), got {self.measure_from}"
             )
+        if self.faults is not None:
+            if isinstance(self.faults, dict):
+                # JSON round-trips hand the nested plan back as a dict.
+                object.__setattr__(
+                    self, "faults", FaultPlanConfig.from_dict(self.faults)
+                )
+            elif not isinstance(self.faults, FaultPlanConfig):
+                raise ConfigurationError(
+                    f"faults must be a FaultPlanConfig or None, "
+                    f"got {type(self.faults).__name__}"
+                )
 
     # ---------------------------------------------------------------- utils
 

@@ -1,19 +1,40 @@
-"""Persistent sweep execution: a long-lived worker pool + result cache.
+"""Resilient persistent sweep execution: pool + cache + journal.
 
-Sweeps are embarrassingly parallel, but the seed implementation paid
-two recurring costs: a fresh ``multiprocessing.Pool`` per sweep (fork +
-teardown for every call) and ``chunksize=1`` dispatch (one IPC round
-trip per simulation). The :class:`SweepExecutor` keeps one pool alive
-for the process lifetime, dispatches with ``imap_unordered`` and a
-batched chunksize, and memoizes finished runs on disk.
+Sweeps are embarrassingly parallel, but a production campaign has to
+survive more than parallelism: a worker segfaulting, a pathological
+config hanging forever, a kill -9 mid-sweep, a truncated cache file.
+The :class:`SweepExecutor` therefore layers four defences over a
+long-lived :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **Typed failure records** — a run that cannot be completed yields a
+  :class:`FailedRun` in its result slot instead of an escaping worker
+  exception, so one bad point never discards a multi-hour sweep.
+* **Per-job wall-clock timeout** — ``job_timeout`` (or
+  ``MANETSIM_JOB_TIMEOUT``) bounds every dispatched job; expired jobs
+  are abandoned (their worker is presumed hung) and retried or failed.
+* **Bounded retry with exponential backoff** — transient failures get
+  ``max_retries`` (``MANETSIM_JOB_RETRIES``) further attempts, delayed
+  by ``retry_backoff * 2**attempt`` seconds.
+* **Broken-pool isolation** — when a worker dies (``os._exit``,
+  segfault, OOM-kill) every in-flight future reports
+  ``BrokenProcessPool`` without naming the culprit. The executor
+  recreates the pool and re-runs the casualties **one at a time**, so
+  the config that kills its worker is identified exactly (and
+  quarantined after its retries), while innocent bystanders complete
+  untouched.
+
+Interrupted sweeps resume from a journal: every finished job appends a
+JSONL record to ``<cache>/journal.jsonl`` keyed by the config's content
+hash, and ``run(..., resume=True)`` re-executes only keys without an
+``ok`` record (results for finished keys come from the disk cache).
 
 The disk cache is exact: a :class:`~repro.scenario.config.ScenarioConfig`
 pins a simulation bit-for-bit (frozen primitives + deterministic
 kernel), so the sha256 of its canonical JSON — salted with a cache
 version — keys the pickled :class:`~repro.stats.metrics.MetricsSummary`.
-A cached summary compares equal to a fresh one (the ``perf`` counter
-field is excluded from dataclass equality), which the determinism tests
-assert.
+Writes are atomic (tmp file + ``os.replace``) so a killed worker can
+never publish a torn entry, and reads treat *any* deserialization
+failure as a miss.
 
 Environment knobs
 -----------------
@@ -21,6 +42,10 @@ Environment knobs
     Worker count when the caller does not pass one.
 ``MANETSIM_NO_SWEEP_CACHE``
     Set to ``1`` to bypass the on-disk cache entirely.
+``MANETSIM_JOB_TIMEOUT``
+    Per-job wall-clock timeout in seconds (0 or unset = none).
+``MANETSIM_JOB_RETRIES``
+    Extra attempts per failed job (default 2).
 """
 
 from __future__ import annotations
@@ -31,21 +56,38 @@ import json
 import multiprocessing as mp
 import os
 import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..core.errors import ExecutorError
 from ..core.trace import NULL_TRACER, Tracer
 from ..stats.metrics import MetricsSummary
 from .config import ScenarioConfig
 from .run import run_scenario
 
-__all__ = ["SweepExecutor", "config_cache_key", "default_executor"]
+__all__ = [
+    "FailedRun",
+    "SweepExecutor",
+    "config_cache_key",
+    "default_executor",
+]
 
 #: Bump when kernel behaviour changes invalidate old cached summaries.
-_CACHE_SALT = "manetsim-sweep-v1"
+#: v2: fault-plan field entered the canonical config dict.
+_CACHE_SALT = "manetsim-sweep-v2"
 
 #: Default cache root, resolved against the working directory.
 _CACHE_DIR = ".manetsim-cache"
+
+#: Seconds between bookkeeping passes of the dispatch loop.
+_POLL_TICK = 0.05
+
+#: Cap on any single retry-backoff delay (s).
+_MAX_BACKOFF = 30.0
 
 
 def config_cache_key(cfg: ScenarioConfig) -> str:
@@ -54,6 +96,28 @@ def config_cache_key(cfg: ScenarioConfig) -> str:
 
     canon = json.dumps(config_to_dict(cfg), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(f"{_CACHE_SALT}:{canon}".encode()).hexdigest()
+
+
+@dataclass
+class FailedRun:
+    """A sweep point that could not produce a summary.
+
+    Returned in the result slot the :class:`MetricsSummary` would have
+    occupied, so callers always get one entry per config and can tell
+    exactly which points (and why) are missing.
+    """
+
+    index: int
+    config: ScenarioConfig
+    #: ``"exception"`` (worker raised), ``"timeout"`` (wall clock
+    #: exceeded), or ``"broken-pool"`` (the job's worker died).
+    kind: str
+    error: str
+    attempts: int
+
+    @property
+    def failed(self) -> bool:
+        return True
 
 
 class _DiskCache:
@@ -72,22 +136,92 @@ class _DiskCache:
                 return pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError):
             return None  # missing or torn entry: recompute
+        except Exception:
+            # Truncated or corrupted pickles can surface as almost any
+            # exception type (ValueError, IndexError, AttributeError,
+            # ImportError...); a cache must never turn disk damage into
+            # a crash, so every deserialization failure is a miss.
+            return None
 
     def put(self, key: str, summary: MetricsSummary) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: write the whole entry to a private tmp file,
+        # then os.replace it into place. A worker killed mid-write can
+        # only ever leave a stray tmp file, never a truncated entry
+        # under the real key.
         tmp = path.with_suffix(".tmp.%d" % os.getpid())
         try:
             with open(tmp, "wb") as fh:
                 pickle.dump(summary, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)  # atomic: readers never see partial writes
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+class _Journal:
+    """Append-only JSONL progress log for checkpoint/resume.
+
+    One record per finished job: ``{"key", "index", "status", ...}``
+    with status ``"ok"`` or ``"failed"``. Keys are config content
+    hashes, so records from unrelated sweeps coexist harmlessly and a
+    resumed sweep recognizes its finished points regardless of order.
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+
+    def record(self, entry: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+
+    def completed_keys(self) -> Dict[str, str]:
+        """Latest recorded status per key (missing file = empty)."""
+        statuses: Dict[str, str] = {}
+        try:
+            with open(self.path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail line from a killed process
+                    key = entry.get("key")
+                    if key:
+                        statuses[key] = entry.get("status", "")
         except OSError:
-            tmp.unlink(missing_ok=True)
+            pass
+        return statuses
 
 
 def _worker(job: Tuple[int, ScenarioConfig]) -> Tuple[int, MetricsSummary]:
     index, cfg = job
     return index, run_scenario(cfg)
+
+
+@dataclass
+class _Job:
+    """Dispatch-side state of one pending sweep point."""
+
+    index: int
+    config: ScenarioConfig
+    key: Optional[str]
+    #: Failures attributed to this job (exception, timeout, or a pool
+    #: breakage while it ran *alone*).
+    attempts: int = 0
+    #: Monotonic time before which the job must not be resubmitted.
+    not_before: float = 0.0
+    #: Re-run this job with no pool siblings (post-breakage forensics).
+    isolate: bool = False
+    last_error: str = ""
+    last_kind: str = "exception"
 
 
 def _resolve_processes(processes: Optional[int]) -> int:
@@ -102,6 +236,25 @@ def _resolve_processes(processes: Optional[int]) -> int:
     return processes
 
 
+def _resolve_timeout(job_timeout: Optional[float]) -> Optional[float]:
+    if job_timeout is None:
+        env = os.environ.get("MANETSIM_JOB_TIMEOUT")
+        if env:
+            job_timeout = float(env)
+    if job_timeout is not None and job_timeout <= 0:
+        return None
+    return job_timeout
+
+
+def _resolve_retries(max_retries: Optional[int]) -> int:
+    if max_retries is None:
+        env = os.environ.get("MANETSIM_JOB_RETRIES")
+        max_retries = int(env) if env else 2
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    return max_retries
+
+
 class SweepExecutor:
     """Runs batches of scenario configs on a persistent worker pool.
 
@@ -112,13 +265,23 @@ class SweepExecutor:
         ``os.cpu_count()``. ``1`` executes inline in this process (no
         pool), which is still logged — never a silent fallback.
     cache_dir:
-        Root of the on-disk result cache; ``None`` uses
+        Root of the on-disk result cache and journal; ``None`` uses
         ``.manetsim-cache`` in the working directory.
     use_cache:
         ``None`` enables the cache unless ``MANETSIM_NO_SWEEP_CACHE=1``.
     tracer:
-        Receives ``("sweep", ...)`` records describing dispatch and
-        cache behaviour.
+        Receives ``("sweep", ...)`` records describing dispatch, cache,
+        and failure-recovery behaviour.
+    job_timeout:
+        Wall-clock seconds allowed per dispatched job; ``None`` consults
+        ``MANETSIM_JOB_TIMEOUT`` (unset/0 disables). Not enforced in
+        inline (1-process) mode, which cannot preempt itself.
+    max_retries:
+        Extra attempts for a failed job before it becomes a
+        :class:`FailedRun`; ``None`` consults ``MANETSIM_JOB_RETRIES``
+        (default 2).
+    retry_backoff:
+        Base of the exponential retry delay (seconds).
     """
 
     def __init__(
@@ -127,46 +290,112 @@ class SweepExecutor:
         cache_dir: Optional[str] = None,
         use_cache: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
+        job_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        retry_backoff: float = 0.25,
     ):
         self.processes = _resolve_processes(processes)
         if use_cache is None:
             use_cache = os.environ.get("MANETSIM_NO_SWEEP_CACHE") != "1"
         self.use_cache = use_cache
-        self._cache = _DiskCache(Path(cache_dir or _CACHE_DIR))
+        self._cache_root = Path(cache_dir or _CACHE_DIR)
+        self._cache = _DiskCache(self._cache_root)
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self._pool = None
+        self.job_timeout = _resolve_timeout(job_timeout)
+        self.max_retries = _resolve_retries(max_retries)
+        self.retry_backoff = retry_backoff
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Futures whose jobs timed out; their workers may still be
+        #: busy (or hung), so capacity is presumed reduced until the
+        #: pool is recycled.
+        self._abandoned = 0
         #: Dispatch stats for the most recent :meth:`run` call.
         self.last_workers = 0
         self.last_chunksize = 0
         self.last_cache_hits = 0
         self.last_cache_misses = 0
+        self.last_executed = 0
+        self.last_resumed = 0
+        self.last_failures: List[FailedRun] = []
+        #: Times the worker pool had to be rebuilt (crash/hang recovery).
+        self.pool_restarts = 0
 
     # ------------------------------------------------------------ lifecycle
 
-    def _ensure_pool(self, workers: int):
+    def _set_cache_dir(self, cache_dir: str) -> None:
+        self._cache_root = Path(cache_dir)
+        self._cache = _DiskCache(self._cache_root)
+
+    @property
+    def journal_path(self) -> Path:
+        return self._cache_root / "journal.jsonl"
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is not None:
             return self._pool
         # fork is fine: workers only compute, and the parent holds no
-        # threads. spawn would re-import the world per worker.
+        # threads while forking. spawn would re-import the world.
         ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
-        self._pool = ctx.Pool(workers)
+        self._pool = ProcessPoolExecutor(self.processes, mp_context=ctx)
+        self._abandoned = 0
         return self._pool
+
+    def _recycle_pool(self) -> None:
+        """Tear the pool down hard and forget it (rebuilt on demand)."""
+        pool = self._pool
+        self._pool = None
+        self._abandoned = 0
+        if pool is None:
+            return
+        self.pool_restarts += 1
+        procs = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5.0)
 
     def close(self) -> None:
         """Tear down the pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            procs = list(getattr(pool, "_processes", {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=5.0)
 
     # ------------------------------------------------------------ execution
 
-    def run(self, configs: Sequence[ScenarioConfig]) -> List[MetricsSummary]:
-        """Execute every config; results align with the input order."""
+    def run(
+        self, configs: Sequence[ScenarioConfig], resume: bool = False
+    ) -> List[Union[MetricsSummary, FailedRun]]:
+        """Execute every config; results align with the input order.
+
+        Each slot holds the run's :class:`MetricsSummary`, or a
+        :class:`FailedRun` when the point exhausted its retries —
+        worker exceptions never escape this method.
+
+        With ``resume=True``, points whose journal record says ``ok``
+        are served from the disk cache and only unfinished (or failed)
+        points execute; requires the cache to be enabled.
+        """
+        if resume and not self.use_cache:
+            raise ExecutorError(
+                "resume requires the sweep cache (journal results are "
+                "stored there); enable the cache or drop resume"
+            )
         n = len(configs)
-        results: List[Optional[MetricsSummary]] = [None] * n
-        hits = 0
+        results: List[Optional[Union[MetricsSummary, FailedRun]]] = [None] * n
         keys: List[Optional[str]] = [None] * n
+        hits = 0
+        resumed = 0
+        journal = _Journal(self.journal_path) if self.use_cache else None
+        done_keys = journal.completed_keys() if (journal and resume) else {}
         if self.use_cache:
             for i, cfg in enumerate(configs):
                 key = config_cache_key(cfg)
@@ -175,14 +404,21 @@ class SweepExecutor:
                 if cached is not None:
                     results[i] = cached
                     hits += 1
-        pending = [(i, configs[i]) for i in range(n) if results[i] is None]
+                    if resume and done_keys.get(key) == "ok":
+                        resumed += 1
+        pending = [
+            _Job(i, configs[i], keys[i]) for i in range(n) if results[i] is None
+        ]
         misses = len(pending)
         self.last_cache_hits = hits
         self.last_cache_misses = misses
+        self.last_resumed = resumed
+        self.last_executed = misses
+        self.last_failures = []
 
         workers = min(self.processes, max(misses, 1))
-        # Batched dispatch: ~4 chunks per worker keeps the pool load
-        # balanced without one-IPC-per-simulation overhead.
+        # Reported batching factor (the futures pool dispatches per job;
+        # the figure still describes how results group per worker).
         chunksize = max(1, misses // (workers * 4))
         self.last_workers = workers
         self.last_chunksize = chunksize
@@ -193,22 +429,232 @@ class SweepExecutor:
             )
 
         if misses:
-            if workers == 1:
-                # Inline execution (requested, not a fallback): same
-                # code path as the workers, minus the IPC.
-                if tracer.enabled("sweep"):
-                    tracer.log(0.0, "sweep", "serial", misses)
-                computed = [_worker(job) for job in pending]
+            # Inline only when serial execution was *requested*. A
+            # one-job batch on a multi-process executor still goes
+            # through the pool: a crashing or hanging job must take a
+            # worker down, never this process.
+            if self.processes == 1:
+                self._run_inline(pending, results, journal, tracer)
             else:
-                pool = self._ensure_pool(self.processes)
-                computed = list(
-                    pool.imap_unordered(_worker, pending, chunksize=chunksize)
-                )
-            for i, summary in computed:
-                results[i] = summary
-                if self.use_cache:
-                    self._cache.put(keys[i], summary)
+                self._run_pool(pending, results, journal, tracer)
+        self.last_failures = [r for r in results if isinstance(r, FailedRun)]
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------- inline dispatch
+
+    def _record_ok(self, job: _Job, summary, journal: Optional[_Journal]) -> None:
+        if self.use_cache and job.key is not None:
+            self._cache.put(job.key, summary)
+        if journal is not None and job.key is not None:
+            journal.record(
+                {"key": job.key, "index": job.index, "status": "ok"}
+            )
+
+    def _record_failed(
+        self, job: _Job, journal: Optional[_Journal]
+    ) -> FailedRun:
+        failed = FailedRun(
+            index=job.index,
+            config=job.config,
+            kind=job.last_kind,
+            error=job.last_error,
+            attempts=job.attempts,
+        )
+        if journal is not None and job.key is not None:
+            journal.record(
+                {
+                    "key": job.key,
+                    "index": job.index,
+                    "status": "failed",
+                    "kind": job.last_kind,
+                    "error": job.last_error[:500],
+                    "attempts": job.attempts,
+                }
+            )
+        return failed
+
+    def _run_inline(self, pending, results, journal, tracer) -> None:
+        """Serial execution (requested, not a fallback): same code path
+        as the workers, minus the IPC — and minus preemption, so jobs
+        get a single attempt and no timeout."""
+        if tracer.enabled("sweep"):
+            tracer.log(0.0, "sweep", "serial", len(pending))
+        for job in pending:
+            try:
+                _index, summary = _worker((job.index, job.config))
+            except Exception as exc:  # noqa: BLE001 - typed record below
+                job.attempts += 1
+                job.last_kind = "exception"
+                job.last_error = f"{type(exc).__name__}: {exc}"
+                results[job.index] = self._record_failed(job, journal)
+                if tracer.enabled("sweep"):
+                    tracer.log(
+                        0.0, "sweep", "job-failed", job.index, job.last_error
+                    )
+                continue
+            results[job.index] = summary
+            self._record_ok(job, summary, journal)
+
+    # --------------------------------------------------------- pool dispatch
+
+    def _backoff(self, attempts: int) -> float:
+        return min(self.retry_backoff * (2.0 ** max(attempts - 1, 0)), _MAX_BACKOFF)
+
+    def _run_pool(self, pending, results, journal, tracer) -> None:
+        queue: List[_Job] = list(pending)
+        inflight: Dict[Future, _Job] = {}
+        deadlines: Dict[Future, float] = {}
+        trace_on = tracer.enabled("sweep")
+
+        def fail(job: _Job) -> None:
+            results[job.index] = self._record_failed(job, journal)
+            if trace_on:
+                tracer.log(
+                    0.0, "sweep", "job-failed", job.index,
+                    job.last_kind, job.last_error,
+                )
+
+        def requeue(job: _Job, kind: str, error: str, *, penalize: bool) -> None:
+            job.last_kind = kind
+            job.last_error = error
+            if penalize:
+                job.attempts += 1
+                if job.attempts > self.max_retries:
+                    fail(job)
+                    return
+                job.not_before = time.monotonic() + self._backoff(job.attempts)
+            queue.append(job)
+
+        while queue or inflight:
+            now = time.monotonic()
+            # Isolation first: while any breakage casualty is waiting,
+            # run jobs one at a time so the next crash names its config.
+            isolating = any(j.isolate for j in queue) or any(
+                j.isolate for j in inflight.values()
+            )
+            capacity = 1 if isolating else self.processes * 2
+            if len(inflight) < capacity and queue:
+                # Innocent-first ordering: fewest attempts, then input
+                # order, keeps a repeat offender from starving others.
+                queue.sort(key=lambda j: (j.attempts, j.index))
+                remaining: List[_Job] = []
+                for job in queue:
+                    if len(inflight) >= capacity or job.not_before > now:
+                        remaining.append(job)
+                        continue
+                    pool = self._ensure_pool()
+                    try:
+                        fut = pool.submit(_worker, (job.index, job.config))
+                    except Exception as exc:  # pool broken between batches
+                        self._recycle_pool()
+                        remaining.append(job)
+                        if trace_on:
+                            tracer.log(
+                                0.0, "sweep", "submit-retry", job.index, str(exc)
+                            )
+                        continue
+                    inflight[fut] = job
+                    if self.job_timeout is not None:
+                        deadlines[fut] = now + self.job_timeout
+                queue = remaining
+
+            if not inflight:
+                # Everything queued is backing off; sleep to the nearest
+                # release time.
+                wake = min(j.not_before for j in queue)
+                time.sleep(max(min(wake - time.monotonic(), _MAX_BACKOFF), 0.0))
+                continue
+
+            done, _ = wait(
+                list(inflight), timeout=_POLL_TICK, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for fut in done:
+                job = inflight.pop(fut)
+                was_isolated = job.isolate
+                job.isolate = False
+                deadlines.pop(fut, None)
+                try:
+                    exc = fut.exception()
+                except BaseException as hard:  # pragma: no cover - paranoia
+                    exc = hard
+                if exc is None:
+                    _index, summary = fut.result()
+                    results[job.index] = summary
+                    self._record_ok(job, summary, journal)
+                elif isinstance(exc, BrokenProcessPool):
+                    broken = True
+                    # Alone in the pool -> this config killed its
+                    # worker; in company -> ambiguous, re-run isolated
+                    # at no cost to its retry budget.
+                    job.isolate = True
+                    requeue(
+                        job,
+                        "broken-pool",
+                        f"worker died while running this config: {exc}",
+                        penalize=was_isolated,
+                    )
+                else:
+                    requeue(
+                        job,
+                        "exception",
+                        f"{type(exc).__name__}: {exc}",
+                        penalize=True,
+                    )
+            if broken:
+                # Every other in-flight job died with the pool through
+                # no fault of its own: recycle the pool and re-run them
+                # in isolation without touching their retry budgets.
+                self._recycle_pool()
+                if trace_on:
+                    tracer.log(
+                        0.0, "sweep", "pool-broken", len(inflight)
+                    )
+                for fut, job in inflight.items():
+                    job.isolate = True
+                    requeue(
+                        job, "broken-pool",
+                        "worker pool died while this job was in flight",
+                        penalize=False,
+                    )
+                inflight.clear()
+                deadlines.clear()
+                continue
+
+            # Wall-clock deadlines: abandon expired jobs. cancel() stops
+            # queued-but-unstarted work; a running worker cannot be
+            # preempted, so it is presumed hung and written off — once
+            # every slot is written off, the pool is recycled.
+            if deadlines:
+                now = time.monotonic()
+                expired = [f for f, dl in deadlines.items() if dl <= now]
+                for fut in expired:
+                    job = inflight.pop(fut)
+                    deadlines.pop(fut, None)
+                    if not fut.cancel():
+                        self._abandoned += 1
+                    requeue(
+                        job,
+                        "timeout",
+                        f"exceeded job timeout of {self.job_timeout}s",
+                        penalize=True,
+                    )
+                    if trace_on:
+                        tracer.log(
+                            0.0, "sweep", "job-timeout", job.index, self.job_timeout
+                        )
+                if self._abandoned >= self.processes:
+                    # All workers presumed hung: survivors (if any) are
+                    # casualties of the recycle, not failures.
+                    for fut, job in inflight.items():
+                        requeue(
+                            job, "broken-pool",
+                            "pool recycled while this job was in flight",
+                            penalize=False,
+                        )
+                    inflight.clear()
+                    deadlines.clear()
+                    self._recycle_pool()
 
 
 # One shared executor per process: pool forks are expensive, and every
@@ -221,11 +667,13 @@ def default_executor(
     use_cache: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
     cache_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> SweepExecutor:
     """The process-wide persistent executor, (re)built on demand.
 
     A new executor replaces the old one only when the requested worker
-    count changes; cache/tracer settings apply per call.
+    count changes; cache/tracer/resilience settings apply per call.
     """
     global _DEFAULT
     want = _resolve_processes(processes)
@@ -238,8 +686,10 @@ def default_executor(
     else:
         _DEFAULT.use_cache = os.environ.get("MANETSIM_NO_SWEEP_CACHE") != "1"
     if cache_dir is not None:
-        _DEFAULT._cache = _DiskCache(Path(cache_dir))
+        _DEFAULT._set_cache_dir(cache_dir)
     _DEFAULT.tracer = tracer if tracer is not None else NULL_TRACER
+    _DEFAULT.job_timeout = _resolve_timeout(job_timeout)
+    _DEFAULT.max_retries = _resolve_retries(max_retries)
     return _DEFAULT
 
 

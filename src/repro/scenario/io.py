@@ -32,11 +32,13 @@ PathLike = Union[str, Path]
 
 
 def config_to_dict(cfg: ScenarioConfig) -> dict:
-    """JSON-ready dict of *cfg* (tuples become lists)."""
+    """JSON-ready dict of *cfg* (tuples become lists, plans nest)."""
     out = dataclasses.asdict(cfg)
     for key, value in out.items():
         if isinstance(value, tuple):
             out[key] = list(value)
+    if cfg.faults is not None:
+        out["faults"] = cfg.faults.to_dict()
     return out
 
 
@@ -48,7 +50,9 @@ def config_from_dict(data: dict) -> ScenarioConfig:
         raise ConfigurationError(f"unknown config keys: {sorted(unknown)}")
     fixed = {}
     for key, value in data.items():
-        if isinstance(value, list):
+        if key == "faults":
+            pass  # nested dict; ScenarioConfig rebuilds the plan itself
+        elif isinstance(value, list):
             value = tuple(value)
         fixed[key] = value
     return ScenarioConfig(**fixed)
@@ -82,6 +86,10 @@ _SUMMARY_COLUMNS = [
     "drops_ifq",
     "drops_retry",
     "mac_collisions",
+    "fault_crashes",
+    "fault_downtime",
+    "fault_recovery_latency",
+    "fault_packets_lost",
 ]
 
 

@@ -7,20 +7,28 @@ recommend. Workers receive pickled :class:`ScenarioConfig` objects
 (frozen dataclasses of primitives) and return
 :class:`~repro.stats.metrics.MetricsSummary` values; aggregation happens
 in the parent.
+
+Failures do not sink a sweep: points that exhaust their retries come
+back as :class:`~repro.scenario.executor.FailedRun` records, are
+excluded from aggregation, and are listed in
+:attr:`SweepResult.failures` so a campaign can report and re-run them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.trace import Tracer
 from ..stats.aggregate import PointEstimate, aggregate_summaries
 from ..stats.metrics import MetricsSummary
 from .config import ScenarioConfig
-from .executor import default_executor
+from .executor import FailedRun, default_executor
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "sweep_configs"]
+
+#: Placeholder estimate for a cell with no successful replications.
+_EMPTY = PointEstimate(float("nan"), float("nan"), 0)
 
 
 @dataclass(frozen=True)
@@ -41,20 +49,37 @@ class SweepResult:
     protocols: List[str]
     #: (protocol, x) -> {metric: PointEstimate}
     cells: Dict[Tuple[str, Any], Dict[str, PointEstimate]]
-    #: (protocol, x) -> raw per-replication summaries
+    #: (protocol, x) -> raw per-replication summaries (successes only)
     raw: Dict[Tuple[str, Any], List[MetricsSummary]]
+    #: Points that exhausted their retries (empty on a clean sweep).
+    failures: List[FailedRun] = field(default_factory=list)
     #: Dispatch metadata from the executor (not simulation results).
     workers: int = 1
     chunksize: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Jobs actually executed / restored from the journal (resume mode).
+    executed: int = 0
+    resumed: int = 0
 
     def series(self, protocol: str, metric: str) -> List[float]:
-        """Metric means across the sweep for one protocol."""
-        return [self.cells[(protocol, x)][metric].mean for x in self.xs]
+        """Metric means across the sweep for one protocol.
+
+        Cells whose every replication failed yield ``nan`` so a partial
+        sweep still plots.
+        """
+        return [
+            self.cells.get((protocol, x), {}).get(metric, _EMPTY).mean
+            for x in self.xs
+        ]
 
     def estimate(self, protocol: str, x: Any, metric: str) -> PointEstimate:
-        return self.cells[(protocol, x)][metric]
+        return self.cells.get((protocol, x), {}).get(metric, _EMPTY)
+
+    @property
+    def ok(self) -> bool:
+        """True when every point produced a summary."""
+        return not self.failures
 
 
 def sweep_configs(
@@ -85,6 +110,9 @@ def run_sweep(
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
     tracer: Optional[Tracer] = None,
+    resume: bool = False,
+    job_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> SweepResult:
     """Run the full grid on the persistent sweep executor.
 
@@ -102,17 +130,34 @@ def run_sweep(
         Cache root override (default ``.manetsim-cache/``).
     tracer:
         Receives ``("sweep", ...)`` dispatch records.
+    resume:
+        Re-execute only points without an ``ok`` record in the sweep
+        journal (requires the cache; see
+        :meth:`~repro.scenario.executor.SweepExecutor.run`).
+    job_timeout / max_retries:
+        Per-job resilience knobs, forwarded to the executor (``None``
+        consults ``MANETSIM_JOB_TIMEOUT`` / ``MANETSIM_JOB_RETRIES``).
     """
     jobs = sweep_configs(base, param, values, protocols, replications)
     configs = [cfg for _point, cfg in jobs]
     executor = default_executor(
-        processes=processes, use_cache=cache, tracer=tracer, cache_dir=cache_dir
+        processes=processes,
+        use_cache=cache,
+        tracer=tracer,
+        cache_dir=cache_dir,
+        job_timeout=job_timeout,
+        max_retries=max_retries,
     )
-    results = executor.run(configs)
+    results = executor.run(configs, resume=resume)
 
     raw: Dict[Tuple[str, Any], List[MetricsSummary]] = {}
-    for (point, _cfg), summary in zip(jobs, results):
-        raw.setdefault((point.protocol, point.x), []).append(summary)
+    failures: List[FailedRun] = []
+    for (point, _cfg), outcome in zip(jobs, results):
+        if isinstance(outcome, FailedRun):
+            failures.append(outcome)
+            raw.setdefault((point.protocol, point.x), [])
+        else:
+            raw.setdefault((point.protocol, point.x), []).append(outcome)
 
     cells = {key: aggregate_summaries(v) for key, v in raw.items()}
     return SweepResult(
@@ -121,8 +166,11 @@ def run_sweep(
         protocols=list(protocols),
         cells=cells,
         raw=raw,
+        failures=failures,
         workers=executor.last_workers,
         chunksize=executor.last_chunksize,
         cache_hits=executor.last_cache_hits,
         cache_misses=executor.last_cache_misses,
+        executed=executor.last_executed,
+        resumed=executor.last_resumed,
     )

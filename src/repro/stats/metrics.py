@@ -73,6 +73,12 @@ class MetricsSummary:
     drops_ifq: int
     drops_retry: int
     mac_collisions: int
+    #: Fault-injection accounting (all zero when no fault plan is set;
+    #: filled in by the FaultManager after collection).
+    fault_crashes: int = 0
+    fault_downtime: float = 0.0
+    fault_recovery_latency: float = 0.0
+    fault_packets_lost: int = 0
     flows: Dict[int, FlowStats] = field(default_factory=dict)
     #: Hot-path cache/engine counters (see repro.core.perfcounters);
     #: attached by Scenario.run. Not a simulation *result*: two runs

@@ -98,6 +98,84 @@ def test_routing_fast_path_matches_legacy(protocol, monkeypatch):
         assert flow.delays == legacy.flows[fid].delays
 
 
+class TestFaultDeterminism:
+    """Fault injection must not disturb the determinism contract."""
+
+    def test_no_fault_config_is_bit_identical_with_zero_fault_fields(self):
+        cfg = ScenarioConfig(seed=7, **SMALL)
+        a = run_scenario(cfg)
+        b = run_scenario(cfg)
+        assert a == b
+        assert (a.fault_crashes, a.fault_packets_lost) == (0, 0)
+        assert (a.fault_downtime, a.fault_recovery_latency) == (0.0, 0.0)
+
+    def test_seeded_churn_identical_across_runs(self):
+        from repro.faults.plan import FaultPlanConfig
+
+        cfg = ScenarioConfig(
+            seed=7,
+            faults=FaultPlanConfig(churn_rate=0.03, mean_downtime=4.0,
+                                   link_loss=0.05),
+            **SMALL,
+        )
+        a = run_scenario(cfg)
+        b = run_scenario(cfg)
+        assert a.fault_crashes > 0
+        assert a == b
+        for fid, flow in a.flows.items():
+            assert flow.delays == b.flows[fid].delays
+
+    def test_seeded_churn_identical_across_worker_counts(self, tmp_path):
+        # A faulted sweep must not depend on how it is dispatched:
+        # inline (1 process) and pooled (2 processes) executions of the
+        # same configs produce identical summaries.
+        from repro.faults.plan import FaultPlanConfig
+        from repro.scenario import SweepExecutor
+
+        plan = FaultPlanConfig(churn_rate=0.03, mean_downtime=4.0)
+        configs = [
+            ScenarioConfig(seed=s, faults=plan, **SMALL) for s in (3, 4)
+        ]
+        serial = SweepExecutor(processes=1, use_cache=False)
+        pooled = SweepExecutor(processes=2, use_cache=False)
+        try:
+            inline = serial.run(configs)
+            fanned = pooled.run(configs)
+        finally:
+            serial.close()
+            pooled.close()
+        assert inline == fanned
+        for a, b in zip(inline, fanned):
+            for fid, flow in a.flows.items():
+                assert flow.delays == b.flows[fid].delays
+
+    def test_fault_fields_survive_the_sweep_cache(self, tmp_path):
+        from repro.faults.plan import FaultPlanConfig
+        from repro.scenario import run_sweep
+
+        base = ScenarioConfig(
+            seed=9,
+            faults=FaultPlanConfig(churn_rate=0.05, mean_downtime=3.0),
+            **SMALL,
+        )
+        kwargs = dict(replications=1, processes=1, cache=True,
+                      cache_dir=str(tmp_path))
+        first = run_sweep(base, "pause_time", [0.0], ["aodv"], **kwargs)
+        second = run_sweep(base, "pause_time", [0.0], ["aodv"], **kwargs)
+        assert second.cache_hits == 1
+        (a,), (b,) = first.raw.values(), second.raw.values()
+        assert a == b
+        assert a[0].fault_crashes > 0
+
+    def test_plan_changes_the_cache_key(self):
+        from repro.faults.plan import FaultPlanConfig
+        from repro.scenario import config_cache_key
+
+        base = ScenarioConfig(seed=7, **SMALL)
+        faulted = base.with_(faults=FaultPlanConfig(link_loss=0.1))
+        assert config_cache_key(base) != config_cache_key(faulted)
+
+
 def _build_models(kind: str, seed: int):
     """A fresh, deterministic model set of one mobility kind."""
     streams = RngStreams(seed)
