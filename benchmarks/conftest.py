@@ -46,6 +46,42 @@ KERNEL_BENCH_FILES = (
     "test_perf_large_scenario",
 )
 
+#: Expected cache hit ratios on the probe scenario below (deterministic:
+#: fixed seed, bit-identical engine). A ratio decaying here means a
+#: cache has stopped earning its keep even if wall time hasn't moved
+#: yet; scripts/check_bench_regression.py fails on a >20% drop.
+HIT_RATIO_BASELINE = {
+    "fanout_cache": 0.5272,
+    "batch_positions": 1.0,
+}
+
+
+def _measure_hit_ratios():
+    """Engine cache hit ratios on one fixed probe scenario."""
+    from repro.scenario import ScenarioConfig
+    from repro.scenario.build import build_scenario
+
+    scenario = build_scenario(ScenarioConfig(
+        protocol="aodv", n_nodes=20, field_size=(800.0, 400.0),
+        duration=30.0, n_connections=5,
+        traffic_start_window=(0.0, 5.0), seed=1,
+    ))
+    scenario.run()
+    perf = scenario.sim.perf.as_dict()
+
+    def ratio(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    return {
+        "fanout_cache": ratio(
+            perf["fanout_cache_hits"], perf["fanout_cache_misses"]
+        ),
+        "batch_positions": ratio(
+            perf["batch_position_evals"], perf["scalar_position_evals"]
+        ),
+    }
+
 
 def pytest_sessionfinish(session, exitstatus):
     """Emit BENCH_kernel.json when the kernel microbenchmarks ran.
@@ -85,6 +121,19 @@ def pytest_sessionfinish(session, exitstatus):
             entry["seed_mean"] = seed_mean
             entry["speedup_vs_seed"] = round(seed_mean / stats.mean, 2)
         payload["benchmarks"][bench.name] = entry
+    # The legacy engine disables the caches entirely; ratios of 0 there
+    # are expected, not a regression, so only the fast engine records.
+    import os as _os
+
+    if _os.environ.get("MANETSIM_LEGACY_KINEMATICS") != "1":
+        ratios = _measure_hit_ratios()
+        payload["hit_ratios"] = {
+            name: {
+                "ratio": round(value, 4),
+                "baseline": HIT_RATIO_BASELINE[name],
+            }
+            for name, value in ratios.items()
+        }
     out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -13,9 +13,18 @@ code, so the default floor is 0.90: real regressions (a hot path made
 the [floor, 1.0) band are printed as warnings so a slow drift is still
 visible in the job log.
 
+The gate also covers the engine's cache **hit ratios** when the bench
+file records them (``hit_ratios``, emitted by the bench session hook):
+a cache whose hit ratio dropped more than ``--ratio-drop`` (default
+20%) below its recorded baseline fails the gate even if wall time is
+still inside the noise floor — ratios decay before timings do, and
+they are deterministic (fixed-seed probe scenario), so no noise
+allowance is needed.
+
 Usage::
 
-    python scripts/check_bench_regression.py [--floor 0.90] [path]
+    python scripts/check_bench_regression.py [--floor 0.90]
+        [--ratio-drop 0.20] [path]
 """
 
 from __future__ import annotations
@@ -26,7 +35,27 @@ import pathlib
 import sys
 
 
-def check(path: pathlib.Path, floor: float) -> int:
+def check_ratios(data: dict, max_drop: float) -> list:
+    """Hit-ratio regressions: (name, ratio, baseline) triples."""
+    failures = []
+    for name, entry in sorted(data.get("hit_ratios", {}).items()):
+        ratio = entry.get("ratio")
+        baseline = entry.get("baseline")
+        if ratio is None or not baseline:
+            print(f"  skip  hit-ratio {name}: no baseline recorded")
+            continue
+        drop = 1.0 - ratio / baseline
+        status = "FAIL" if drop > max_drop else "ok"
+        if status == "FAIL":
+            failures.append((name, ratio, baseline))
+        print(
+            f"  {status:<5} hit-ratio {name}: {ratio:.4f} "
+            f"(baseline {baseline:.4f}, drop {max(drop, 0.0):.1%})"
+        )
+    return failures
+
+
+def check(path: pathlib.Path, floor: float, ratio_drop: float) -> int:
     data = json.loads(path.read_text())
     benchmarks = data.get("benchmarks", {})
     if not benchmarks:
@@ -49,16 +78,24 @@ def check(path: pathlib.Path, floor: float) -> int:
             status = "warn"
         print(f"  {status:<5} {name}: {speedup:.2f}x vs baseline")
 
+    ratio_failures = check_ratios(data, ratio_drop)
+
     for name, speedup in warnings:
         print(
             f"warning: {name} at {speedup:.2f}x — below 1.0 but within "
             f"the {floor:.2f} noise floor"
         )
-    if failures:
+    if failures or ratio_failures:
         for name, speedup in failures:
             print(
                 f"REGRESSION: {name} at {speedup:.2f}x "
                 f"(floor {floor:.2f})",
+                file=sys.stderr,
+            )
+        for name, ratio, baseline in ratio_failures:
+            print(
+                f"REGRESSION: {name} hit ratio at {ratio:.4f}, more than "
+                f"{ratio_drop:.0%} below its baseline {baseline:.4f}",
                 file=sys.stderr,
             )
         return 1
@@ -81,11 +118,18 @@ def main(argv=None) -> int:
         default=0.90,
         help="minimum acceptable speedup_vs_seed (default: 0.90)",
     )
+    parser.add_argument(
+        "--ratio-drop",
+        type=float,
+        default=0.20,
+        help="maximum tolerated relative drop in any recorded cache "
+             "hit ratio (default: 0.20 = 20%%)",
+    )
     args = parser.parse_args(argv)
     if not args.path.exists():
         print(f"error: {args.path} not found", file=sys.stderr)
         return 2
-    return check(args.path, args.floor)
+    return check(args.path, args.floor, args.ratio_drop)
 
 
 if __name__ == "__main__":

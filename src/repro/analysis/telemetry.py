@@ -1,0 +1,64 @@
+"""Time-series views over telemetry captures.
+
+The obs layer records raw samples (``repro.obs.telemetry``); this module
+turns a capture — in memory or reloaded from JSONL — into plottable
+series and small summaries, mirroring how ``analysis.tables`` presents
+sweep results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+from ..core.errors import ConfigurationError
+from ..obs.telemetry import TELEMETRY_SCHEMA, load_telemetry_jsonl
+from .tables import render_ascii_chart
+
+__all__ = [
+    "telemetry_series",
+    "telemetry_summary",
+    "render_telemetry_chart",
+    "load_telemetry_jsonl",
+]
+
+Sample = Dict[str, Union[int, float, dict]]
+
+
+def telemetry_series(samples: Sequence[Sample], field: str) -> List[float]:
+    """Extract one field as a series ordered like the samples.
+
+    ``field`` is a top-level schema key, or ``perf_<name>`` for a
+    per-interval perf-counter delta.
+    """
+    if field.startswith("perf_"):
+        name = field[len("perf_"):]
+        return [float(s.get("perf", {}).get(name, 0)) for s in samples]
+    if field not in TELEMETRY_SCHEMA or field == "perf":
+        valid = sorted(k for k in TELEMETRY_SCHEMA if k != "perf")
+        raise ConfigurationError(
+            f"unknown telemetry field {field!r}; expected one of {valid} "
+            f"or perf_<counter>"
+        )
+    return [float(s[field]) for s in samples]
+
+
+def telemetry_summary(samples: Sequence[Sample], field: str) -> Dict[str, float]:
+    """min/mean/max/last of one telemetry field."""
+    series = telemetry_series(samples, field)
+    if not series:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0, "last": 0.0}
+    return {
+        "min": min(series),
+        "mean": sum(series) / len(series),
+        "max": max(series),
+        "last": series[-1],
+    }
+
+
+def render_telemetry_chart(
+    samples: Sequence[Sample], field: str, width: int = 64
+) -> str:
+    """ASCII chart of one field over sim time."""
+    series = telemetry_series(samples, field)
+    ts = telemetry_series(samples, "t")
+    return render_ascii_chart(ts, {field: series}, width=width, y_label=field)

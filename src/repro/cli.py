@@ -19,6 +19,7 @@ from typing import List, Optional
 from .analysis.tables import render_kv_table, render_series_table
 from .faults.plan import FaultPlanConfig
 from .scenario import PROTOCOLS, ScenarioConfig, run_scenario, run_sweep
+from .scenario.build import build_scenario
 from .scenario.io import load_config, save_config, sweep_to_csv
 
 __all__ = ["main", "build_parser"]
@@ -122,10 +123,30 @@ def _perf_pairs(perf: dict) -> dict:
 
 def cmd_run(args) -> int:
     cfg = _config_from(args, args.protocol)
-    summary = run_scenario(cfg)
+    if args.profile or args.profile_out:
+        cfg = cfg.with_(profile=True)
+    if args.telemetry:
+        cfg = cfg.with_(telemetry_interval=args.telemetry_interval)
+    scenario = build_scenario(cfg)
+    summary = scenario.run()
     print(render_kv_table(f"{args.protocol.upper()} results", _summary_pairs(summary)))
     if args.perf and summary.perf:
         print(render_kv_table("Engine counters", _perf_pairs(summary.perf)))
+    if args.profile and summary.profile:
+        from .obs.report import render_profile_table
+
+        print(render_profile_table(summary.profile))
+    if args.profile_out:
+        with open(args.profile_out, "w") as fh:
+            json.dump(summary.profile, fh, indent=2)
+            fh.write("\n")
+        print(f"[wrote {args.profile_out}]")
+    if args.telemetry and scenario.telemetry is not None:
+        scenario.telemetry.write_jsonl(args.telemetry)
+        print(
+            f"[wrote {len(scenario.telemetry.samples)} telemetry "
+            f"sample(s) to {args.telemetry}]"
+        )
     return 0
 
 
@@ -160,6 +181,7 @@ def cmd_sweep(args) -> int:
         resume=args.resume,
         job_timeout=args.timeout,
         max_retries=args.retries,
+        progress=args.progress,
     )
     means = {p: result.series(p, args.metric) for p in args.protocols}
     cis = {
@@ -186,9 +208,34 @@ def cmd_sweep(args) -> int:
             file=sys.stderr,
         )
     if args.csv:
-        sweep_to_csv(result, args.csv)
+        sweep_to_csv(result, args.csv, include_perf=args.perf)
         print(f"[wrote {args.csv}]")
+    if result.manifest_path:
+        print(f"[manifest: {result.manifest_path}]")
     return 1 if result.failures else 0
+
+
+def cmd_obs_report(args) -> int:
+    """Render a manifest.json or profile JSON as a table."""
+    from .obs.report import render_manifest_report, render_profile_table
+
+    with open(args.path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        print(f"error: {args.path} is not an obs artifact", file=sys.stderr)
+        return 1
+    if "sweep_key" in data and "jobs_total" in data:
+        print(render_manifest_report(data))
+        return 0
+    # Profile dumps map span path -> {calls, wall_s, self_s}.
+    if all(isinstance(v, dict) and "calls" in v for v in data.values()):
+        print(render_profile_table(data, title=f"Profile: {args.path}"))
+        return 0
+    print(
+        f"error: {args.path} is neither a sweep manifest nor a profile dump",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def cmd_protocols(_args) -> int:
@@ -217,6 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--protocol", default="aodv", choices=PROTOCOLS)
     p_run.add_argument("--perf", action="store_true",
                        help="also print hot-path engine counters")
+    p_run.add_argument("--profile", action="store_true",
+                       help="profile the event loop and print a span table")
+    p_run.add_argument("--profile-out", metavar="JSON",
+                       help="write the span profile to a JSON file "
+                            "(implies profiling; view with 'repro obs report')")
+    p_run.add_argument("--telemetry", metavar="JSONL",
+                       help="sample sim state over time and write JSONL")
+    p_run.add_argument("--telemetry-interval", type=float, default=1.0,
+                       metavar="S",
+                       help="telemetry sample period in sim seconds "
+                            "(default 1.0; used with --telemetry)")
     _add_scenario_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -251,11 +309,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--retries", type=int, default=None, metavar="N",
                        help="extra attempts per failed job "
                             "(default: MANETSIM_JOB_RETRIES or 2)")
+    p_swp.add_argument("--progress", action="store_true",
+                       help="show a single-line progress display on stderr "
+                            "(done/total, failures, jobs/s, ETA)")
+    p_swp.add_argument("--perf", action="store_true",
+                       help="include perf-counter and profile columns in "
+                            "the --csv output")
     _add_scenario_args(p_swp)
     p_swp.set_defaults(func=cmd_sweep)
 
     p_ls = sub.add_parser("protocols", help="list available protocols")
     p_ls.set_defaults(func=cmd_protocols)
+
+    p_obs = sub.add_parser("obs", help="observability artifact tools")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_rep = obs_sub.add_parser(
+        "report", help="render a sweep manifest.json or profile JSON"
+    )
+    p_rep.add_argument("path", help="path to manifest.json or a profile dump")
+    p_rep.set_defaults(func=cmd_obs_report)
 
     return parser
 

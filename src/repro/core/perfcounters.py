@@ -10,66 +10,92 @@ re-profiling.
 One :class:`PerfCounters` instance lives on each :class:`Simulator`;
 layers share it by reference. Counting is plain integer addition — cheap
 enough to stay on unconditionally.
+
+Counter names are **registry-backed**: the kernel counters below are
+registered at import time, and any subsystem (the ``repro.obs``
+telemetry probes, future caches) can add its own with
+:func:`register_counter` without editing this module. ``as_dict()``
+iterates in registration order, so the kernel counters keep their
+historical positions in ``BENCH_kernel.json`` and new counters append
+after them.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
-__all__ = ["PerfCounters"]
+__all__ = ["PerfCounters", "register_counter", "registered_counters"]
+
+#: Ordered registry: counter name -> one-line description. Insertion
+#: order is the canonical ``as_dict()`` order.
+_REGISTRY: Dict[str, str] = {}
+
+
+def register_counter(name: str, doc: str = "") -> str:
+    """Register a counter *name* (idempotent); returns the name.
+
+    Registered counters initialise to 0 on every new
+    :class:`PerfCounters` and appear in :meth:`PerfCounters.as_dict` in
+    registration order. Increment sites stay plain attribute additions
+    (``perf.my_counter += 1``); instances created *before* a late
+    registration report 0 for the new name until they increment it.
+    """
+    if not name.isidentifier():
+        raise ValueError(f"counter name must be an identifier, got {name!r}")
+    _REGISTRY.setdefault(name, doc)
+    return name
+
+
+def registered_counters() -> Tuple[str, ...]:
+    """All registered counter names, in canonical (registration) order."""
+    return tuple(_REGISTRY)
+
+
+# The kernel counter set. Order matters: BENCH_kernel.json and the CLI
+# tables present counters in this sequence, so additions go at the end
+# (or come from register_counter, which always appends).
+register_counter("fanout_cache_hits",
+                 "channel geometry served from the per-(src, epoch) memo")
+register_counter("fanout_cache_misses", "channel geometry computed fresh")
+register_counter("batch_position_evals",
+                 "positions(t) calls answered by the fused NumPy expression")
+register_counter("scalar_position_evals",
+                 "per-node position(t) fallback evaluations")
+register_counter("segment_refreshes",
+                 "mobility segments re-published into the manager's arrays")
+register_counter("grid_rebuilds", "spatial grid built from scratch")
+register_counter("grid_incremental_updates",
+                 "spatial grid refreshed by re-binning only moved nodes")
+register_counter("heap_compactions", "lazy-cancel heap dead-entry purges")
+register_counter("events_pooled", "event objects recycled through the freelist")
+register_counter("packets_pooled",
+                 "broadcast control packets recycled through the packet pool")
+register_counter("arrivals_pooled",
+                 "radio arrival records recycled through the per-radio freelist")
+register_counter("sweep_cache_hits",
+                 "sweep cells served from the on-disk result cache")
+register_counter("sweep_cache_misses", "sweep cells actually simulated")
 
 
 class PerfCounters:
-    """Mutable counter block for one simulation (or one sweep session)."""
+    """Mutable counter block for one simulation (or one sweep session).
 
-    __slots__ = (
-        "fanout_cache_hits",
-        "fanout_cache_misses",
-        "batch_position_evals",
-        "scalar_position_evals",
-        "segment_refreshes",
-        "grid_rebuilds",
-        "grid_incremental_updates",
-        "heap_compactions",
-        "events_pooled",
-        "packets_pooled",
-        "arrivals_pooled",
-        "sweep_cache_hits",
-        "sweep_cache_misses",
-    )
+    Attribute access is ordinary instance-``__dict__`` access (no
+    ``__slots__``), so dynamically registered counters work exactly like
+    the kernel set: ``perf.<name> += 1``.
+    """
 
     def __init__(self) -> None:
-        #: Channel geometry served from the per-(src, epoch) memo.
-        self.fanout_cache_hits = 0
-        #: Channel geometry computed fresh.
-        self.fanout_cache_misses = 0
-        #: positions(t) calls answered by the fused NumPy expression.
-        self.batch_position_evals = 0
-        #: Per-node ``position(t)`` fallback evaluations (non-linear
-        #: models, or rows pinned at a segment endpoint).
-        self.scalar_position_evals = 0
-        #: Mobility segments re-published into the manager's arrays.
-        self.segment_refreshes = 0
-        #: Spatial grid built from scratch.
-        self.grid_rebuilds = 0
-        #: Spatial grid refreshed by re-binning only moved nodes.
-        self.grid_incremental_updates = 0
-        #: Lazy-cancel heap compactions (dead-entry purges).
-        self.heap_compactions = 0
-        #: Event objects recycled through the freelist.
-        self.events_pooled = 0
-        #: Broadcast control packets recycled through the packet pool.
-        self.packets_pooled = 0
-        #: Radio arrival records recycled through the per-radio freelist.
-        self.arrivals_pooled = 0
-        #: Sweep cells served from the on-disk result cache.
-        self.sweep_cache_hits = 0
-        #: Sweep cells actually simulated.
-        self.sweep_cache_misses = 0
+        for name in _REGISTRY:
+            setattr(self, name, 0)
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Increment a (possibly late-registered) counter by *n*."""
+        setattr(self, name, getattr(self, name, 0) + n)
 
     def as_dict(self) -> Dict[str, int]:
-        """Counter snapshot (for summaries and JSON artifacts)."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        """Counter snapshot in canonical registry order."""
+        return {name: getattr(self, name, 0) for name in _REGISTRY}
 
     def fanout_hit_ratio(self) -> float:
         """Fraction of transmissions whose geometry came from the memo."""

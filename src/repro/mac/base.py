@@ -88,6 +88,12 @@ class MacLayer:
         """Drop queued packets for *next_hop*; returns them for salvage."""
         return self.ifq.remove_for_next_hop(next_hop)
 
+    # -------------------------------------------------------- introspection
+
+    def queue_depth(self) -> int:
+        """Current interface-queue occupancy (telemetry probe)."""
+        return len(self.ifq)
+
     # ------------------------------------------------------ radio callbacks
 
     def on_frame_received(self, frame: Frame, rx_power: float) -> None:

@@ -57,6 +57,9 @@ class MobilityManager:
         self.batch = batch
         #: Optional shared PerfCounters (set by the owning network stack).
         self.perf = None
+        #: Optional span profiler (set by the stack builder alongside
+        #: ``perf``); only the recompute path consults it.
+        self.profiler = None
         n = len(self.models)
         self._cache_t = -1.0
         self._cache = np.zeros((n, 2), dtype=np.float64)
@@ -85,6 +88,17 @@ class MobilityManager:
         """
         if self._cache_valid and t == self._cache_t:
             return self._cache
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("mobility.batch")
+            try:
+                return self._positions_compute(t)
+            finally:
+                prof.end()
+        return self._positions_compute(t)
+
+    def _positions_compute(self, t: float) -> np.ndarray:
+        """Recompute the position snapshot for *t* (cache-miss path)."""
         buf = self._cache
         models = self.models
         perf = self.perf

@@ -72,6 +72,7 @@ def build_network(
     params = radio_params if radio_params is not None else WAVELAN_914MHZ
     mobility = MobilityManager(mobility_models, batch=batch_kinematics)
     mobility.perf = sim.perf
+    mobility.profiler = sim.profiler
     channel = Channel(
         sim,
         mobility,

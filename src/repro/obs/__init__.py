@@ -1,0 +1,42 @@
+"""Observability: spans/timers, telemetry probes, and run manifests.
+
+Three pillars, all pay-for-what-you-use (zero hooks installed and zero
+hot-path cost when disabled, the same discipline as ``TraceWriter``):
+
+* :class:`Profiler` — hierarchical monotonic-clock spans around the
+  event loop and per-layer dispatch, aggregated into a wall-time +
+  call-count profile (``MetricsSummary.profile``, ``repro run
+  --profile``, ``repro obs report``).
+* :class:`TelemetryRecorder` — time-series probes sampling simulator
+  state (queue depths, routing-state sizes, in-flight arrivals, energy,
+  perf-counter deltas, faulted nodes) at a configurable sim-time
+  interval into a bounded ring buffer, exportable as JSONL/CSV.
+* :mod:`repro.obs.manifest` — sweep-level ``manifest.json`` records
+  (config hash, toolchain versions, per-job wall time, failure taxonomy,
+  worker utilization) plus the single-line sweep progress display.
+"""
+
+from .manifest import ProgressLine, build_manifest, manifest_summary_pairs
+from .profiler import LAYERS, Profiler, profile_layer_seconds
+from .report import render_manifest_report, render_profile_table
+from .telemetry import (
+    TELEMETRY_SCHEMA,
+    TelemetryRecorder,
+    load_telemetry_jsonl,
+    validate_sample,
+)
+
+__all__ = [
+    "LAYERS",
+    "Profiler",
+    "profile_layer_seconds",
+    "TELEMETRY_SCHEMA",
+    "TelemetryRecorder",
+    "validate_sample",
+    "load_telemetry_jsonl",
+    "ProgressLine",
+    "build_manifest",
+    "manifest_summary_pairs",
+    "render_profile_table",
+    "render_manifest_report",
+]

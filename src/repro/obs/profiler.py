@@ -1,0 +1,162 @@
+"""Hierarchical wall-time spans for the simulation kernel.
+
+A :class:`Profiler` keeps a stack of open spans and aggregates closed
+ones by their ``/``-joined path, recording call count, inclusive wall
+time, and *self* time (inclusive minus child spans) from the monotonic
+``time.perf_counter`` clock.
+
+Two span sources exist:
+
+* **Event-loop dispatch** — when a profiler is attached to a
+  :class:`~repro.core.simulator.Simulator`, its run loop classifies
+  every fired event into a layer (``mobility``, ``phy``, ``mac``,
+  ``routing``, ``traffic``, ``faults``, ...) by the callback's module
+  and times it. The classification is memoized per underlying function,
+  so the steady-state cost is one dict lookup per event.
+* **Explicit spans** — hot helpers that run *inside* another layer's
+  event (the channel fan-out rebuild, the mobility batch refresh) open
+  nested spans via :meth:`Profiler.begin` / :meth:`Profiler.end` or the
+  :meth:`Profiler.span` context manager, so their cost is carved out of
+  the enclosing layer's self time.
+
+When no profiler is attached (the default), none of this code runs: the
+simulator keeps its original loop and the instrumented call sites are
+behind a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Dict, List
+
+__all__ = ["Profiler", "LAYERS", "profile_layer_seconds"]
+
+#: Module-prefix -> layer tag, first match wins (most specific first).
+_LAYER_PREFIXES = (
+    ("repro.mobility", "mobility"),
+    ("repro.phy", "phy"),
+    ("repro.mac", "mac"),
+    ("repro.routing", "routing"),
+    ("repro.traffic", "traffic"),
+    ("repro.faults", "faults"),
+    ("repro.net", "net"),
+    ("repro.obs", "obs"),
+    ("repro.stats", "stats"),
+    ("repro.core", "kernel"),
+)
+
+#: The layer tags event dispatch can produce (plus "other").
+LAYERS = tuple(layer for _prefix, layer in _LAYER_PREFIXES) + ("other",)
+
+
+def _classify(fn: Callable) -> str:
+    module = getattr(fn, "__module__", "") or ""
+    for prefix, layer in _LAYER_PREFIXES:
+        if module.startswith(prefix):
+            return layer
+    return "other"
+
+
+class _SpanStat:
+    """Aggregate for one span path."""
+
+    __slots__ = ("calls", "wall", "self_wall")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.wall = 0.0
+        self.self_wall = 0.0
+
+
+class Profiler:
+    """Aggregating span timer (monotonic clock, hierarchical paths)."""
+
+    __slots__ = ("_stack", "_stats", "_layer_cache")
+
+    def __init__(self) -> None:
+        #: Open spans: [path, start, accumulated child wall time].
+        self._stack: List[list] = []
+        self._stats: Dict[str, _SpanStat] = {}
+        #: Underlying function object -> layer tag memo.
+        self._layer_cache: Dict[Any, str] = {}
+
+    # ---------------------------------------------------------------- spans
+
+    def begin(self, name: str) -> None:
+        """Open a span named *name* nested under the current span."""
+        stack = self._stack
+        path = stack[-1][0] + "/" + name if stack else name
+        stack.append([path, perf_counter(), 0.0])
+
+    def end(self) -> None:
+        """Close the innermost open span and fold it into the profile."""
+        path, start, child = self._stack.pop()
+        elapsed = perf_counter() - start
+        stack = self._stack
+        if stack:
+            stack[-1][2] += elapsed
+        stat = self._stats.get(path)
+        if stat is None:
+            stat = self._stats[path] = _SpanStat()
+        stat.calls += 1
+        stat.wall += elapsed
+        stat.self_wall += elapsed - child
+
+    @contextmanager
+    def span(self, name: str):
+        """``with profiler.span("channel.fanout"): ...``"""
+        self.begin(name)
+        try:
+            yield self
+        finally:
+            self.end()
+
+    # --------------------------------------------------------- event dispatch
+
+    def layer_of(self, fn: Callable) -> str:
+        """Layer tag for event callback *fn* (memoized per function)."""
+        key = getattr(fn, "__func__", fn)
+        layer = self._layer_cache.get(key)
+        if layer is None:
+            layer = self._layer_cache[key] = _classify(key)
+        return layer
+
+    # -------------------------------------------------------------- results
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{path: {calls, wall_s, self_s}}``, hottest self time first."""
+        items = sorted(
+            self._stats.items(), key=lambda kv: kv[1].self_wall, reverse=True
+        )
+        return {
+            path: {
+                "calls": stat.calls,
+                "wall_s": stat.wall,
+                "self_s": stat.self_wall,
+            }
+            for path, stat in items
+        }
+
+    def clear(self) -> None:
+        """Drop every aggregate (open spans are left alone)."""
+        self._stats.clear()
+
+
+def profile_layer_seconds(profile: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Fold a profile dict into per-layer *self* seconds.
+
+    Groups every span path by its component directly under the event
+    loop (``event-loop/mac/...`` -> ``mac``); top-level spans group
+    under their own first component. Used for the sweep CSV's compact
+    ``profile_<layer>_s`` columns.
+    """
+    out: Dict[str, float] = {}
+    for path, stat in profile.items():
+        parts = path.split("/")
+        if parts[0] == "event-loop" and len(parts) > 1:
+            layer = parts[1]
+        else:
+            layer = parts[0]
+        out[layer] = out.get(layer, 0.0) + float(stat.get("self_s", 0.0))
+    return out

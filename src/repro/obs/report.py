@@ -1,0 +1,75 @@
+"""Rendering for observability artifacts (``repro obs report``).
+
+Self-contained fixed-width formatting (no dependency on the analysis
+package, which pulls in the whole scenario layer) for the two artifact
+kinds the CLI can inspect: a span profile (from ``repro run --profile
+--profile-out``, or ``MetricsSummary.profile``) and a sweep
+``manifest.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .manifest import manifest_summary_pairs
+
+__all__ = ["render_profile_table", "render_manifest_report"]
+
+
+def render_profile_table(
+    profile: Dict[str, Dict[str, float]], title: str = "Profile (wall time)"
+) -> str:
+    """Sorted per-span table: calls, inclusive and self wall time.
+
+    Spans are ordered hottest-first by *self* time (time in the span
+    minus time in its children), which is the column that answers
+    "where does the wall clock actually go".
+    """
+    if not profile:
+        return f"{title}: no spans recorded"
+    rows = sorted(
+        profile.items(),
+        key=lambda kv: kv[1].get("self_s", 0.0),
+        reverse=True,
+    )
+    total_self = sum(stat.get("self_s", 0.0) for _path, stat in rows) or 1.0
+    header = ("span", "calls", "wall ms", "self ms", "self %")
+    table = [header]
+    for path, stat in rows:
+        table.append(
+            (
+                path,
+                f"{int(stat.get('calls', 0))}",
+                f"{stat.get('wall_s', 0.0) * 1e3:.2f}",
+                f"{stat.get('self_s', 0.0) * 1e3:.2f}",
+                f"{100.0 * stat.get('self_s', 0.0) / total_self:.1f}",
+            )
+        )
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = [title, "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    for j, row in enumerate(table):
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[i].rjust(widths[i]) for i in range(1, len(widths))]
+        lines.append("  ".join(cells))
+        if j == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def render_manifest_report(manifest: dict) -> str:
+    """Key/value view of a sweep manifest plus its failure list."""
+    pairs = manifest_summary_pairs(manifest)
+    width = max(len(str(k)) for k in pairs)
+    lines = ["Sweep manifest", "-" * (width + 24)]
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)}  {value}")
+    failures = manifest.get("failures", [])
+    if failures:
+        lines.append("")
+        lines.append(f"failures ({len(failures)}):")
+        for f in failures:
+            lines.append(
+                f"  #{f.get('index', '?')} {f.get('kind', '?')} "
+                f"after {f.get('attempts', '?')} attempt(s)"
+            )
+    return "\n".join(lines)

@@ -112,6 +112,10 @@ class Channel:
         #: src id -> (sample time, eligible ids, powers aligned with them).
         self._memo: dict = {}
         self.perf = sim.perf
+        #: Optional span profiler (None = no instrumentation). Only the
+        #: fan-out *miss* path checks it — the memoized hit path, which
+        #: dominates, is untouched either way.
+        self.profiler = sim.profiler
         #: Fault-injection filter (see repro.faults.manager.FaultManager):
         #: consulted per transmission, after the geometry memo, so the
         #: memo stays exact. None (the default) leaves the fan-out path
@@ -174,6 +178,16 @@ class Channel:
         receiver (the source itself excluded), prebuilt so a memo hit
         skips every per-receiver index/id check.
         """
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("channel.fanout")
+            try:
+                return self._build_targets_inner(src_id, tq)
+            finally:
+                prof.end()
+        return self._build_targets_inner(src_id, tq)
+
+    def _build_targets_inner(self, src_id: int, tq: float) -> list:
         eligible, powers = self._compute_fanout(src_id, tq)
         radios = self.radios
         targets = []

@@ -45,6 +45,10 @@ class NeighborTable:
         self.hold_time = hold_time
         self._entries: Dict[int, NeighborEntry] = {}
 
+    def __len__(self) -> int:
+        """Entry count, including not-yet-expired stale entries."""
+        return len(self._entries)
+
     def heard(self, addr: int, now: float, bidirectional: Optional[bool] = None) -> NeighborEntry:
         """Record a HELLO (or any overheard frame) from *addr*.
 

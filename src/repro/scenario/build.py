@@ -59,6 +59,8 @@ class Scenario:
     collector: MetricsCollector
     #: Present only when the config carries a fault plan.
     faults: Optional[FaultManager] = None
+    #: Present only when ``config.telemetry_interval > 0``.
+    telemetry: Optional["TelemetryRecorder"] = None
 
     def run(self):
         """Execute to ``config.duration`` and return the metrics summary."""
@@ -67,11 +69,15 @@ class Scenario:
             src.begin()
         if self.faults is not None:
             self.faults.start()
+        if self.telemetry is not None:
+            self.telemetry.start()
         self.sim.run(until=self.config.duration)
         summary = self.collector.finish(self.network, self.config.duration)
         if self.faults is not None:
             self.faults.apply(summary, self.config.duration)
         summary.perf = self.sim.perf.as_dict()
+        if self.sim.profiler is not None:
+            summary.profile = self.sim.profiler.as_dict()
         return summary
 
 
@@ -214,6 +220,12 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
     PACKET_POOL.enabled = not legacy_routing_enabled()
     tracer = Tracer(cfg.trace) if cfg.trace else None
     sim = Simulator(seed=cfg.run_seed, tracer=tracer)
+    if cfg.profile:
+        # Attached before the stack builds so every layer that caches
+        # sim.profiler (channel, mobility manager) picks it up.
+        from ..obs.profiler import Profiler
+
+        sim.profiler = Profiler()
     PACKET_POOL.perf = sim.perf
     propagation = _make_propagation(cfg)
     params = WAVELAN_914MHZ
@@ -246,6 +258,14 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
     if cfg.faults is not None:
         faults = FaultManager(sim, network, cfg.faults, cfg.duration)
 
+    telemetry = None
+    if cfg.telemetry_interval > 0:
+        from ..obs.telemetry import TelemetryRecorder
+
+        telemetry = TelemetryRecorder(
+            sim, network, cfg.telemetry_interval, faults=faults
+        )
+
     sources = []
     for conn in connections:
         collector.flow(conn.flow_id, conn.src, conn.dst)
@@ -276,4 +296,4 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
                 on_send=collector.on_send,
             )
         sources.append(src)
-    return Scenario(cfg, sim, network, sources, collector, faults)
+    return Scenario(cfg, sim, network, sources, collector, faults, telemetry)

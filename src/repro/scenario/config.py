@@ -98,6 +98,13 @@ class ScenarioConfig:
     # --- observability -----------------------------------------------------
     #: Trace categories to record ("route", "mac", "phy") or "all".
     trace: Tuple[str, ...] = ()
+    #: Attach a span profiler to the run (per-layer wall-time profile on
+    #: ``MetricsSummary.profile``). Off by default: the unprofiled event
+    #: loop is a separate code path with zero added cost.
+    profile: bool = False
+    #: Sim-time seconds between telemetry probe sweeps; 0 disables the
+    #: recorder entirely (no hooks installed, no events scheduled).
+    telemetry_interval: float = 0.0
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -130,6 +137,10 @@ class ScenarioConfig:
         if self.position_quantum < 0:
             raise ConfigurationError(
                 f"position_quantum must be >= 0, got {self.position_quantum}"
+            )
+        if self.telemetry_interval < 0:
+            raise ConfigurationError(
+                f"telemetry_interval must be >= 0, got {self.telemetry_interval}"
             )
         if not 0.0 <= self.measure_from < self.duration:
             raise ConfigurationError(

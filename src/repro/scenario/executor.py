@@ -28,6 +28,14 @@ JSONL record to ``<cache>/journal.jsonl`` keyed by the config's content
 hash, and ``run(..., resume=True)`` re-executes only keys without an
 ``ok`` record (results for finished keys come from the disk cache).
 
+Observability: every cached run additionally publishes a
+``<cache>/manifest.json`` (see :mod:`repro.obs.manifest`) recording the
+sweep's content hash, toolchain versions, environment knobs, per-job
+wall times, and the failure taxonomy; ``run(..., progress=True)`` emits
+a single-line in-place progress display (done/total, failures, jobs/s,
+ETA) in which cache- and journal-restored points count as already done
+— never as fresh completions — so resumed sweeps report honest rates.
+
 The disk cache is exact: a :class:`~repro.scenario.config.ScenarioConfig`
 pins a simulation bit-for-bit (frozen primitives + deterministic
 kernel), so the sha256 of its canonical JSON — salted with a cache
@@ -65,6 +73,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ExecutorError
 from ..core.trace import NULL_TRACER, Tracer
+from ..obs.manifest import ProgressLine, build_manifest, write_manifest
 from ..stats.metrics import MetricsSummary
 from .config import ScenarioConfig
 from .run import run_scenario
@@ -78,7 +87,9 @@ __all__ = [
 
 #: Bump when kernel behaviour changes invalidate old cached summaries.
 #: v2: fault-plan field entered the canonical config dict.
-_CACHE_SALT = "manetsim-sweep-v2"
+#: v3: observability fields (profile, telemetry_interval) entered the
+#: canonical config dict.
+_CACHE_SALT = "manetsim-sweep-v3"
 
 #: Default cache root, resolved against the working directory.
 _CACHE_DIR = ".manetsim-cache"
@@ -222,6 +233,8 @@ class _Job:
     isolate: bool = False
     last_error: str = ""
     last_kind: str = "exception"
+    #: Monotonic time of the most recent dispatch (manifest wall times).
+    last_start: float = 0.0
 
 
 def _resolve_processes(processes: Optional[int]) -> int:
@@ -319,6 +332,15 @@ class SweepExecutor:
         self.last_failures: List[FailedRun] = []
         #: Times the worker pool had to be rebuilt (crash/hang recovery).
         self.pool_restarts = 0
+        #: Per-job wall-clock seconds (index -> s) for the last run.
+        self.last_job_walls: Dict[int, float] = {}
+        #: Retry / timeout event counts for the last run.
+        self.last_retries = 0
+        self.last_timeouts = 0
+        #: Manifest of the last run (written to disk when caching is on).
+        self.last_manifest: Optional[dict] = None
+        self.last_manifest_path: Optional[Path] = None
+        self._progress: Optional[ProgressLine] = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -329,6 +351,10 @@ class SweepExecutor:
     @property
     def journal_path(self) -> Path:
         return self._cache_root / "journal.jsonl"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self._cache_root / "manifest.json"
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is not None:
@@ -372,7 +398,10 @@ class SweepExecutor:
     # ------------------------------------------------------------ execution
 
     def run(
-        self, configs: Sequence[ScenarioConfig], resume: bool = False
+        self,
+        configs: Sequence[ScenarioConfig],
+        resume: bool = False,
+        progress: bool = False,
     ) -> List[Union[MetricsSummary, FailedRun]]:
         """Execute every config; results align with the input order.
 
@@ -383,6 +412,12 @@ class SweepExecutor:
         With ``resume=True``, points whose journal record says ``ok``
         are served from the disk cache and only unfinished (or failed)
         points execute; requires the cache to be enabled.
+
+        With ``progress=True``, a single stderr line tracks
+        done/total, failures, jobs/s and ETA; cache- and
+        journal-restored points seed the "done" count and are excluded
+        from the rate, so a resumed sweep's ETA covers only remaining
+        work.
         """
         if resume and not self.use_cache:
             raise ExecutorError(
@@ -390,6 +425,11 @@ class SweepExecutor:
                 "stored there); enable the cache or drop resume"
             )
         n = len(configs)
+        run_t0 = time.monotonic()
+        restarts_before = self.pool_restarts
+        self.last_job_walls = {}
+        self.last_retries = 0
+        self.last_timeouts = 0
         results: List[Optional[Union[MetricsSummary, FailedRun]]] = [None] * n
         keys: List[Optional[str]] = [None] * n
         hits = 0
@@ -428,27 +468,68 @@ class SweepExecutor:
                 0.0, "sweep", "dispatch", n, misses, hits, workers, chunksize
             )
 
-        if misses:
-            # Inline only when serial execution was *requested*. A
-            # one-job batch on a multi-process executor still goes
-            # through the pool: a crashing or hanging job must take a
-            # worker down, never this process.
-            if self.processes == 1:
-                self._run_inline(pending, results, journal, tracer)
-            else:
-                self._run_pool(pending, results, journal, tracer)
+        self._progress = ProgressLine(n, already_done=hits) if progress else None
+        try:
+            if misses:
+                # Inline only when serial execution was *requested*. A
+                # one-job batch on a multi-process executor still goes
+                # through the pool: a crashing or hanging job must take
+                # a worker down, never this process.
+                if self.processes == 1:
+                    self._run_inline(pending, results, journal, tracer)
+                else:
+                    self._run_pool(pending, results, journal, tracer)
+        finally:
+            if self._progress is not None:
+                self._progress.finish()
+                self._progress = None
         self.last_failures = [r for r in results if isinstance(r, FailedRun)]
+
+        manifest = build_manifest(
+            job_keys=[k or "" for k in keys],
+            jobs_executed=misses,
+            jobs_from_cache=hits,
+            jobs_resumed=resumed,
+            failures=[
+                {
+                    "index": f.index,
+                    "kind": f.kind,
+                    "attempts": f.attempts,
+                    "error": f.error[:200],
+                }
+                for f in self.last_failures
+            ],
+            retries=self.last_retries,
+            timeouts=self.last_timeouts,
+            pool_restarts=self.pool_restarts - restarts_before,
+            workers=workers,
+            chunksize=chunksize,
+            wall_time_s=time.monotonic() - run_t0,
+            job_wall_times_s=self.last_job_walls,
+            resume=resume,
+            cache_salt=_CACHE_SALT,
+        )
+        self.last_manifest = manifest
+        if self.use_cache:
+            write_manifest(manifest, self.manifest_path)
+            self.last_manifest_path = self.manifest_path
+        else:
+            self.last_manifest_path = None
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------- inline dispatch
 
     def _record_ok(self, job: _Job, summary, journal: Optional[_Journal]) -> None:
+        if job.last_start:
+            self.last_job_walls[job.index] = time.monotonic() - job.last_start
         if self.use_cache and job.key is not None:
             self._cache.put(job.key, summary)
         if journal is not None and job.key is not None:
             journal.record(
                 {"key": job.key, "index": job.index, "status": "ok"}
             )
+        if self._progress is not None:
+            self._progress.update(ok=True)
 
     def _record_failed(
         self, job: _Job, journal: Optional[_Journal]
@@ -460,6 +541,10 @@ class SweepExecutor:
             error=job.last_error,
             attempts=job.attempts,
         )
+        if job.last_start:
+            self.last_job_walls[job.index] = time.monotonic() - job.last_start
+        if self._progress is not None:
+            self._progress.update(ok=False)
         if journal is not None and job.key is not None:
             journal.record(
                 {
@@ -480,6 +565,7 @@ class SweepExecutor:
         if tracer.enabled("sweep"):
             tracer.log(0.0, "sweep", "serial", len(pending))
         for job in pending:
+            job.last_start = time.monotonic()
             try:
                 _index, summary = _worker((job.index, job.config))
             except Exception as exc:  # noqa: BLE001 - typed record below
@@ -523,6 +609,7 @@ class SweepExecutor:
                     fail(job)
                     return
                 job.not_before = time.monotonic() + self._backoff(job.attempts)
+            self.last_retries += 1
             queue.append(job)
 
         while queue or inflight:
@@ -553,6 +640,7 @@ class SweepExecutor:
                                 0.0, "sweep", "submit-retry", job.index, str(exc)
                             )
                         continue
+                    job.last_start = time.monotonic()
                     inflight[fut] = job
                     if self.job_timeout is not None:
                         deadlines[fut] = now + self.job_timeout
@@ -633,6 +721,7 @@ class SweepExecutor:
                     deadlines.pop(fut, None)
                     if not fut.cancel():
                         self._abandoned += 1
+                    self.last_timeouts += 1
                     requeue(
                         job,
                         "timeout",

@@ -93,12 +93,50 @@ _SUMMARY_COLUMNS = [
 ]
 
 
+def _perf_profile_columns(rows: List[MetricsSummary]):
+    """Extra (header, per-row getter) pairs for perf + profile data.
+
+    Perf counters come out in canonical registry order (prefixed
+    ``perf_``); profile layers become ``profile_<layer>_s`` self-time
+    seconds, sorted by name. Rows lacking a counter/layer (cached
+    summaries from an older run, unprofiled runs) report 0.
+    """
+    from ..core.perfcounters import registered_counters
+    from ..obs.profiler import profile_layer_seconds
+
+    seen = set()
+    for s in rows:
+        seen.update(s.perf)
+    perf_names = [n for n in registered_counters() if n in seen]
+    perf_names += sorted(seen - set(registered_counters()))
+
+    layer_rows = [profile_layer_seconds(s.profile) for s in rows]
+    layers = sorted({layer for row in layer_rows for layer in row})
+
+    header = [f"perf_{n}" for n in perf_names]
+    header += [f"profile_{layer}_s" for layer in layers]
+
+    def values(i: int, s: MetricsSummary) -> List:
+        vals: List = [s.perf.get(n, 0) for n in perf_names]
+        vals += [layer_rows[i].get(layer, 0.0) for layer in layers]
+        return vals
+
+    return header, values
+
+
 def summaries_to_csv(
     summaries: Iterable[MetricsSummary],
     path: PathLike,
     extra: Dict[str, List] = None,
+    include_perf: bool = False,
 ) -> None:
-    """One row per summary; optional parallel ``extra`` columns."""
+    """One row per summary; optional parallel ``extra`` columns.
+
+    ``include_perf`` appends the engine's perf-counter columns and the
+    per-layer profile columns after the metric columns; off (the
+    default) keeps the historical header byte-for-byte, so existing
+    golden CSVs stay valid.
+    """
     rows = list(summaries)
     extra = extra or {}
     for key, values in extra.items():
@@ -106,18 +144,29 @@ def summaries_to_csv(
             raise ConfigurationError(
                 f"extra column {key!r} has {len(values)} values for {len(rows)} rows"
             )
+    obs_header: List[str] = []
+    obs_values = None
+    if include_perf:
+        obs_header, obs_values = _perf_profile_columns(rows)
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(list(extra) + _SUMMARY_COLUMNS)
+        writer.writerow(list(extra) + _SUMMARY_COLUMNS + obs_header)
         for i, s in enumerate(rows):
             writer.writerow(
                 [extra[k][i] for k in extra]
                 + [getattr(s, col) for col in _SUMMARY_COLUMNS]
+                + (obs_values(i, s) if obs_values is not None else [])
             )
 
 
-def sweep_to_csv(result: SweepResult, path: PathLike) -> None:
-    """Flatten a sweep (every replication) into one CSV."""
+def sweep_to_csv(
+    result: SweepResult, path: PathLike, include_perf: bool = False
+) -> None:
+    """Flatten a sweep (every replication) into one CSV.
+
+    ``include_perf`` adds perf-counter and profile columns (see
+    :func:`summaries_to_csv`).
+    """
     rows: List[MetricsSummary] = []
     extra: Dict[str, List] = {result.param: [], "replication": []}
     for (proto, x), summaries in result.raw.items():
@@ -125,4 +174,4 @@ def sweep_to_csv(result: SweepResult, path: PathLike) -> None:
             rows.append(s)
             extra[result.param].append(x)
             extra["replication"].append(rep)
-    summaries_to_csv(rows, path, extra=extra)
+    summaries_to_csv(rows, path, extra=extra, include_perf=include_perf)

@@ -61,6 +61,10 @@ class SweepResult:
     #: Jobs actually executed / restored from the journal (resume mode).
     executed: int = 0
     resumed: int = 0
+    #: Run manifest from the executor (see repro.obs.manifest); the
+    #: on-disk copy lives at ``manifest_path`` when caching was on.
+    manifest: Optional[dict] = None
+    manifest_path: Optional[str] = None
 
     def series(self, protocol: str, metric: str) -> List[float]:
         """Metric means across the sweep for one protocol.
@@ -113,6 +117,7 @@ def run_sweep(
     resume: bool = False,
     job_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    progress: bool = False,
 ) -> SweepResult:
     """Run the full grid on the persistent sweep executor.
 
@@ -137,6 +142,9 @@ def run_sweep(
     job_timeout / max_retries:
         Per-job resilience knobs, forwarded to the executor (``None``
         consults ``MANETSIM_JOB_TIMEOUT`` / ``MANETSIM_JOB_RETRIES``).
+    progress:
+        Emit the executor's single-line progress display (done/total,
+        failures, jobs/s, ETA) on stderr while the sweep runs.
     """
     jobs = sweep_configs(base, param, values, protocols, replications)
     configs = [cfg for _point, cfg in jobs]
@@ -148,7 +156,7 @@ def run_sweep(
         job_timeout=job_timeout,
         max_retries=max_retries,
     )
-    results = executor.run(configs, resume=resume)
+    results = executor.run(configs, resume=resume, progress=progress)
 
     raw: Dict[Tuple[str, Any], List[MetricsSummary]] = {}
     failures: List[FailedRun] = []
@@ -173,4 +181,10 @@ def run_sweep(
         cache_misses=executor.last_cache_misses,
         executed=executor.last_executed,
         resumed=executor.last_resumed,
+        manifest=executor.last_manifest,
+        manifest_path=(
+            str(executor.last_manifest_path)
+            if executor.last_manifest_path is not None
+            else None
+        ),
     )

@@ -85,6 +85,12 @@ class MetricsSummary:
     #: with different caching knobs produce identical metrics but
     #: different counters.
     perf: Dict[str, int] = field(default_factory=dict, compare=False)
+    #: Per-layer wall-time span profile (see repro.obs.profiler);
+    #: attached by Scenario.run when ``config.profile`` is set. Like
+    #: ``perf``, excluded from equality: wall time is not a result.
+    profile: Dict[str, Dict[str, float]] = field(
+        default_factory=dict, compare=False
+    )
 
     def row(self) -> Dict[str, float]:
         """Flat dict of the headline metrics (for tables/aggregation)."""

@@ -1,0 +1,227 @@
+"""Manifests and the progress line: provenance, reconciliation, resume."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    ProgressLine,
+    build_manifest,
+    manifest_summary_pairs,
+    write_manifest,
+)
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.executor import SweepExecutor
+
+SMALL = dict(
+    protocol="aodv",
+    n_nodes=6,
+    field_size=(250.0, 250.0),
+    duration=5.0,
+    n_connections=2,
+    rate=1.0,
+    packet_size=64,
+    traffic_start_window=(0.0, 1.0),
+)
+
+
+def _configs(n, **over):
+    return [
+        ScenarioConfig(**{**SMALL, **over}, seed=100 + i) for i in range(n)
+    ]
+
+
+def _manifest(**over):
+    base = dict(
+        job_keys=["a", "b", "c"],
+        jobs_executed=2,
+        jobs_from_cache=1,
+        jobs_resumed=1,
+        failures=[],
+        retries=0,
+        timeouts=0,
+        pool_restarts=0,
+        workers=2,
+        chunksize=1,
+        wall_time_s=1.0,
+        job_wall_times_s={0: 0.4, 1: 0.6},
+        resume=True,
+        cache_salt="test-salt",
+    )
+    base.update(over)
+    return build_manifest(**base)
+
+
+def test_manifest_records_provenance():
+    m = _manifest()
+    assert m["schema"] == MANIFEST_SCHEMA_VERSION
+    assert m["cache_salt"] == "test-salt"
+    assert len(m["sweep_key"]) == 64
+    assert m["python"] and m["platform"]
+    # Only MANETSIM_* knobs are captured, never the whole environment.
+    assert all(k.startswith("MANETSIM_") for k in m["env"])
+
+
+def test_sweep_key_is_order_insensitive():
+    a = _manifest(job_keys=["x", "y", "z"])
+    b = _manifest(job_keys=["z", "x", "y"])
+    c = _manifest(job_keys=["x", "y", "w"])
+    assert a["sweep_key"] == b["sweep_key"]
+    assert a["sweep_key"] != c["sweep_key"]
+
+
+def test_worker_utilization_bounded():
+    m = _manifest(job_wall_times_s={0: 10.0, 1: 10.0}, wall_time_s=1.0)
+    assert m["worker_utilization"] == 1.0
+    m = _manifest(job_wall_times_s={}, wall_time_s=0.0)
+    assert m["worker_utilization"] == 0.0
+
+
+def test_write_manifest_roundtrip(tmp_path):
+    path = tmp_path / "deep" / "manifest.json"
+    m = _manifest()
+    write_manifest(m, path)
+    assert json.loads(path.read_text()) == m
+
+
+def test_summary_pairs_render():
+    pairs = manifest_summary_pairs(_manifest())
+    assert pairs["jobs total"] == 3
+    assert pairs["jobs from cache"] == 1
+    assert "job wall time mean/max (s)" in pairs
+
+
+class TestProgressLine:
+    def test_counts_and_eta(self):
+        buf = io.StringIO()
+        p = ProgressLine(4, stream=buf)
+        p.update(ok=True)
+        p.update(ok=False)
+        assert p.done == 2 and p.failures == 1
+        line = p.line()
+        assert "sweep 2/4" in line and "1 failed" in line and "eta" in line
+        p.update()
+        p.update()
+        assert "done" in p.line()
+        p.finish()
+        assert buf.getvalue().endswith("\n")
+
+    def test_cached_points_seed_done_but_not_rate(self):
+        buf = io.StringIO()
+        p = ProgressLine(10, already_done=7, stream=buf)
+        assert p.done == 7 and p.fresh == 0
+        assert "7 cached" in p.line()
+        p.update(ok=True)
+        # Rate counts only the one fresh job, never the 7 cached ones.
+        assert p.done == 8 and p.fresh == 1
+        assert p.line().startswith("[sweep 8/10")
+
+    def test_zero_total_renders_nothing(self):
+        buf = io.StringIO()
+        p = ProgressLine(0, stream=buf)
+        p.finish()
+        assert buf.getvalue() == ""
+
+
+class TestExecutorManifest:
+    def test_manifest_reconciles_with_results(self, tmp_path):
+        ex = SweepExecutor(processes=1, cache_dir=str(tmp_path), use_cache=True)
+        try:
+            configs = _configs(3)
+            ex.run(configs)
+            m = ex.last_manifest
+            assert m is not None
+            assert m["jobs_total"] == 3
+            assert m["jobs_total"] == m["jobs_executed"] + m["jobs_from_cache"]
+            assert m["jobs_executed"] == 3 and m["jobs_from_cache"] == 0
+            assert m["jobs_failed"] == 0 and m["failures"] == []
+            # Written next to the journal.
+            on_disk = json.loads(ex.manifest_path.read_text())
+            assert on_disk["sweep_key"] == m["sweep_key"]
+            assert len(m["job_wall_times_s"]) == 3
+            assert all(v >= 0 for v in m["job_wall_times_s"].values())
+
+            # Second pass: everything cached, nothing executed.
+            ex.run(configs)
+            m2 = ex.last_manifest
+            assert m2["jobs_from_cache"] == 3 and m2["jobs_executed"] == 0
+            assert m2["jobs_total"] == (
+                m2["jobs_executed"] + m2["jobs_from_cache"]
+            )
+            assert m2["sweep_key"] == m["sweep_key"]
+        finally:
+            ex.close()
+
+    def test_resume_counts_journal_points_as_completed(self, tmp_path):
+        ex = SweepExecutor(processes=1, cache_dir=str(tmp_path), use_cache=True)
+        try:
+            configs = _configs(4)
+            ex.run(configs[:2])  # journal two points
+            ex.run(configs, resume=True)
+            m = ex.last_manifest
+            assert m["resume"] is True
+            assert m["jobs_resumed"] == 2
+            assert m["jobs_from_cache"] == 2
+            assert m["jobs_executed"] == 2
+            assert m["jobs_resumed"] <= m["jobs_from_cache"]
+            assert m["jobs_total"] == m["jobs_executed"] + m["jobs_from_cache"]
+            # Reconcile against the journal itself: every point of the
+            # resumed sweep now has an ok record, and the resumed count
+            # equals the points journaled before the second run.
+            ok_keys = {
+                json.loads(line)["key"]
+                for line in ex.journal_path.read_text().splitlines()
+                if json.loads(line).get("status") == "ok"
+            }
+            assert len(ok_keys) == m["jobs_total"]
+        finally:
+            ex.close()
+
+    def test_failures_taxonomized_in_manifest(self, tmp_path, monkeypatch):
+        import repro.scenario.executor as executor_mod
+
+        def boom(cfg):
+            raise RuntimeError("synthetic worker failure")
+
+        monkeypatch.setattr(executor_mod, "run_scenario", boom)
+        ex = SweepExecutor(processes=1, cache_dir=str(tmp_path), use_cache=True)
+        try:
+            results = ex.run(_configs(1))
+            m = ex.last_manifest
+            assert m["jobs_failed"] == 1
+            assert m["failures"][0]["kind"] == "exception"
+            assert m["failures"][0]["index"] == 0
+            assert "synthetic worker failure" in m["failures"][0]["error"]
+            assert results[0].failed
+        finally:
+            ex.close()
+
+    def test_no_cache_keeps_manifest_in_memory_only(self, tmp_path):
+        ex = SweepExecutor(
+            processes=1, cache_dir=str(tmp_path), use_cache=False
+        )
+        try:
+            ex.run(_configs(2))
+            assert ex.last_manifest is not None
+            assert ex.last_manifest_path is None
+            assert not ex.manifest_path.exists()
+        finally:
+            ex.close()
+
+    def test_progress_resume_accounting(self, tmp_path, capsys):
+        ex = SweepExecutor(processes=1, cache_dir=str(tmp_path), use_cache=True)
+        try:
+            configs = _configs(3)
+            ex.run(configs[:2])
+            capsys.readouterr()
+            ex.run(configs, resume=True, progress=True)
+            err = capsys.readouterr().err
+            # Cached points are pre-counted, and the final state shows
+            # every point done with the cached count called out.
+            assert "sweep 3/3" in err
+            assert "2 cached" in err
+            assert err.endswith("\n")
+        finally:
+            ex.close()

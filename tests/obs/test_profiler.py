@@ -1,0 +1,119 @@
+"""Span profiler: nesting, self-time accounting, layer classification."""
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.obs.profiler import LAYERS, Profiler, profile_layer_seconds
+
+
+def test_span_nesting_builds_paths():
+    prof = Profiler()
+    with prof.span("outer"):
+        with prof.span("inner"):
+            pass
+        with prof.span("inner"):
+            pass
+    stats = prof.as_dict()
+    assert set(stats) == {"outer", "outer/inner"}
+    assert stats["outer"]["calls"] == 1
+    assert stats["outer/inner"]["calls"] == 2
+
+
+def test_self_time_excludes_children():
+    prof = Profiler()
+    with prof.span("outer"):
+        with prof.span("inner"):
+            pass
+    stats = prof.as_dict()
+    outer, inner = stats["outer"], stats["outer/inner"]
+    assert outer["wall_s"] >= inner["wall_s"]
+    assert outer["self_s"] == pytest.approx(
+        outer["wall_s"] - inner["wall_s"], abs=1e-9
+    )
+    assert inner["self_s"] == pytest.approx(inner["wall_s"], abs=1e-12)
+
+
+def test_end_without_begin_raises():
+    prof = Profiler()
+    with pytest.raises(IndexError):
+        prof.end()
+
+
+def test_layer_of_classifies_by_module():
+    prof = Profiler()
+
+    def probe():
+        pass
+
+    probe.__module__ = "repro.routing.aodv"
+    assert prof.layer_of(probe) == "routing"
+    probe2 = lambda: None  # noqa: E731
+    probe2.__module__ = "somewhere.else"
+    assert prof.layer_of(probe2) == "other"
+    assert "routing" in LAYERS and "other" in LAYERS
+
+
+def test_layer_of_memoizes_bound_methods():
+    prof = Profiler()
+
+    class Agent:
+        def step(self):
+            pass
+
+    Agent.__module__ = "repro.mac.dcf"
+    Agent.step.__module__ = "repro.mac.dcf"
+    a, b = Agent(), Agent()
+    assert prof.layer_of(a.step) == "mac"
+    # Two bound methods share one underlying function -> one cache entry.
+    assert prof.layer_of(b.step) == "mac"
+    assert len(prof._layer_cache) == 1
+
+
+def test_simulator_profiled_loop_records_spans():
+    sim = Simulator(seed=1)
+    sim.profiler = Profiler()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run(until=5.0)
+    assert fired == ["a", "b"]
+    stats = sim.profiler.as_dict()
+    assert "event-loop" in stats
+    assert stats["event-loop"]["calls"] == 1
+    # list.append has no repro module -> classified "other".
+    assert stats["event-loop/other"]["calls"] == 2
+
+
+def test_simulator_without_profiler_installs_nothing():
+    sim = Simulator(seed=1)
+    assert sim.profiler is None
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=2.0)
+    assert sim.profiler is None
+
+
+def test_profile_layer_seconds_groups_event_loop_children():
+    profile = {
+        "event-loop": {"calls": 1, "wall_s": 5.0, "self_s": 1.0},
+        "event-loop/mac": {"calls": 10, "wall_s": 3.0, "self_s": 2.0},
+        "event-loop/mac/channel.fanout": {
+            "calls": 4,
+            "wall_s": 1.0,
+            "self_s": 1.0,
+        },
+        "event-loop/routing": {"calls": 2, "wall_s": 1.0, "self_s": 1.0},
+    }
+    layers = profile_layer_seconds(profile)
+    # Sub-spans under a layer fold into that layer's bucket (mac self
+    # 2.0 + fanout self 1.0); the loop's own self time keeps its name.
+    assert layers["mac"] == pytest.approx(3.0)
+    assert layers["routing"] == pytest.approx(1.0)
+    assert layers["event-loop"] == pytest.approx(1.0)
+
+
+def test_clear_resets_everything():
+    prof = Profiler()
+    with prof.span("x"):
+        pass
+    prof.clear()
+    assert prof.as_dict() == {}

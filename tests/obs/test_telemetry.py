@@ -1,0 +1,147 @@
+"""Telemetry recorder: schema, sampling cadence, ring bound, export."""
+
+import math
+
+import pytest
+
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    TelemetryRecorder,
+    load_telemetry_jsonl,
+    validate_sample,
+)
+from repro.scenario.build import build_scenario
+from repro.scenario.config import ScenarioConfig
+
+SMALL = dict(
+    protocol="aodv",
+    n_nodes=8,
+    field_size=(300.0, 300.0),
+    duration=12.0,
+    n_connections=3,
+    rate=2.0,
+    packet_size=64,
+    traffic_start_window=(0.0, 2.0),
+    seed=7,
+)
+
+
+def _scenario(**over):
+    return build_scenario(ScenarioConfig(**{**SMALL, **over}))
+
+
+def test_config_wires_recorder_only_when_enabled():
+    off = _scenario()
+    assert off.telemetry is None
+    on = _scenario(telemetry_interval=2.0)
+    assert on.telemetry is not None
+    assert on.telemetry.interval == 2.0
+
+
+def test_samples_match_schema_and_cadence():
+    scenario = _scenario(telemetry_interval=2.0)
+    scenario.run()
+    samples = list(scenario.telemetry.samples)
+    # duration 12 at interval 2 -> probes at t=2,4,...,12.
+    assert len(samples) == 6
+    for s in samples:
+        validate_sample(s)
+    ts = [s["t"] for s in samples]
+    assert ts == sorted(ts)
+    assert ts[0] == pytest.approx(2.0)
+
+
+def test_samples_observe_live_state():
+    scenario = _scenario(telemetry_interval=2.0)
+    scenario.run()
+    samples = list(scenario.telemetry.samples)
+    # Mid-run the network has routed traffic: state shows up.
+    assert any(s["route_entries_total"] > 0 for s in samples)
+    assert any(s["events_scheduled"] > 0 for s in samples)
+    assert all(s["energy_j"] >= 0.0 for s in samples)
+    last = samples[-1]
+    # events_scheduled is monotone.
+    sched = [s["events_scheduled"] for s in samples]
+    assert sched == sorted(sched)
+    # Perf deltas are per-interval, not cumulative: their sum can't
+    # exceed the final counter values.
+    total_sched = sum(s["perf"].get("events_pooled", 0) for s in samples)
+    assert total_sched <= scenario.sim.perf.events_pooled
+    assert last["nodes_faulted"] == 0
+
+
+def test_ring_buffer_bounds_samples():
+    scenario = _scenario()
+    rec = TelemetryRecorder(
+        scenario.sim, scenario.network, interval=1.0, capacity=3
+    )
+    for _ in range(5):
+        rec.sample()
+    assert len(rec.samples) == 3
+    assert rec.dropped == 2
+
+
+def test_invalid_intervals_rejected():
+    scenario = _scenario()
+    with pytest.raises(ValueError):
+        TelemetryRecorder(scenario.sim, scenario.network, interval=0.0)
+    with pytest.raises(ValueError):
+        TelemetryRecorder(
+            scenario.sim, scenario.network, interval=1.0, capacity=0
+        )
+    with pytest.raises(Exception):
+        ScenarioConfig(**{**SMALL, "telemetry_interval": -1.0})
+
+
+def test_validate_sample_rejects_drift():
+    scenario = _scenario(telemetry_interval=4.0)
+    scenario.run()
+    sample = dict(scenario.telemetry.samples[0])
+    sample["bogus"] = 1
+    with pytest.raises(ValueError):
+        validate_sample(sample)
+    sample = dict(scenario.telemetry.samples[0])
+    del sample["energy_j"]
+    with pytest.raises(ValueError):
+        validate_sample(sample)
+    sample = dict(scenario.telemetry.samples[0])
+    sample["ifq_depth_total"] = "lots"
+    with pytest.raises(ValueError):
+        validate_sample(sample)
+
+
+def test_jsonl_roundtrip(tmp_path):
+    scenario = _scenario(telemetry_interval=3.0)
+    scenario.run()
+    out = tmp_path / "tele.jsonl"
+    n = scenario.telemetry.write_jsonl(out)
+    assert n == len(scenario.telemetry.samples)
+    loaded = load_telemetry_jsonl(out)
+    assert loaded == list(scenario.telemetry.samples)
+
+
+def test_csv_export_flattens_perf(tmp_path):
+    scenario = _scenario(telemetry_interval=3.0)
+    scenario.run()
+    out = tmp_path / "tele.csv"
+    scenario.telemetry.write_csv(out)
+    header = out.read_text().splitlines()[0].split(",")
+    plain = [k for k in TELEMETRY_SCHEMA if k != "perf"]
+    for key in plain:
+        assert key in header
+    assert any(col.startswith("perf_") for col in header)
+
+
+def test_telemetry_counter_lands_in_summary_perf():
+    scenario = _scenario(telemetry_interval=2.0)
+    summary = scenario.run()
+    assert summary.perf["telemetry_samples"] == 6
+
+
+def test_energy_probe_uses_airtime(tmp_path):
+    scenario = _scenario(telemetry_interval=2.0)
+    scenario.run()
+    energies = [s["energy_j"] for s in scenario.telemetry.samples]
+    assert all(math.isfinite(e) for e in energies)
+    # Cumulative by construction.
+    assert energies == sorted(energies)

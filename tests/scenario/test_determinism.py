@@ -176,6 +176,69 @@ class TestFaultDeterminism:
         assert config_cache_key(base) != config_cache_key(faulted)
 
 
+class TestObservabilityDeterminism:
+    """Profiling and telemetry are read-only: results never change.
+
+    The obs layer's contract is pay-for-what-you-use *and*
+    see-but-don't-touch — a seeded run is bit-identical with spans and
+    probes on or off, and a disabled config installs no hooks at all.
+    """
+
+    def test_disabled_obs_installs_no_hooks(self):
+        from repro.scenario.build import build_scenario
+
+        scenario = build_scenario(ScenarioConfig(seed=7, **SMALL))
+        assert scenario.sim.profiler is None
+        assert scenario.telemetry is None
+        assert scenario.network.mobility.profiler is None
+        assert scenario.network.channel.profiler is None
+
+    def test_profiling_is_bit_identical(self):
+        cfg = ScenarioConfig(seed=7, **SMALL)
+        plain = run_scenario(cfg)
+        profiled = run_scenario(cfg.with_(profile=True))
+        # The profiler actually ran (spans recorded) ...
+        assert profiled.profile and "event-loop" in profiled.profile
+        assert not plain.profile
+        # ... and never touched the simulation (profile/perf are
+        # excluded from summary equality, so this is the full metric
+        # surface plus every per-flow delay).
+        assert plain == profiled
+        for fid, flow in plain.flows.items():
+            assert flow.delays == profiled.flows[fid].delays
+
+    def test_telemetry_is_bit_identical(self):
+        cfg = ScenarioConfig(seed=7, **SMALL)
+        plain = run_scenario(cfg)
+        probed = run_scenario(cfg.with_(telemetry_interval=1.0))
+        assert probed.perf["telemetry_samples"] > 0
+        assert plain == probed
+        for fid, flow in plain.flows.items():
+            assert flow.delays == probed.flows[fid].delays
+
+    def test_profile_and_telemetry_together_bit_identical(self):
+        cfg = ScenarioConfig(seed=7, **SMALL)
+        plain = run_scenario(cfg)
+        both = run_scenario(
+            cfg.with_(profile=True, telemetry_interval=0.5)
+        )
+        assert plain == both
+
+    def test_obs_fields_enter_the_cache_key(self):
+        # Intentional: obs settings are part of the config's canonical
+        # form, so sweeps with different observability never collide in
+        # the result cache.
+        from repro.scenario import config_cache_key
+
+        base = ScenarioConfig(seed=7, **SMALL)
+        assert config_cache_key(base) != config_cache_key(
+            base.with_(profile=True)
+        )
+        assert config_cache_key(base) != config_cache_key(
+            base.with_(telemetry_interval=2.0)
+        )
+
+
 def _build_models(kind: str, seed: int):
     """A fresh, deterministic model set of one mobility kind."""
     streams = RngStreams(seed)

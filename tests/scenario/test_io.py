@@ -83,3 +83,46 @@ class TestCsvExport:
         assert len(rows) == 4  # 2 values x 2 replications
         assert {r["pause_time"] for r in rows} == {"0.0", "10.0"}
         assert {r["replication"] for r in rows} == {"0", "1"}
+
+    def test_perf_columns_off_by_default(self, tmp_path):
+        cfg = ScenarioConfig(protocol="aodv", seed=2, **SMALL)
+        summaries = run_replications(cfg, 1)
+        path = tmp_path / "plain.csv"
+        summaries_to_csv(summaries, path)
+        header = path.read_text().splitlines()[0]
+        assert "perf_" not in header
+        assert "profile_" not in header
+
+    def test_perf_columns_opt_in(self, tmp_path):
+        cfg = ScenarioConfig(protocol="aodv", seed=2, **SMALL)
+        summaries = run_replications(cfg, 2)
+        path = tmp_path / "perf.csv"
+        summaries_to_csv(summaries, path, include_perf=True)
+        rows = list(csv.DictReader(open(path)))
+        assert "perf_fanout_cache_hits" in rows[0]
+        assert int(rows[0]["perf_fanout_cache_hits"]) > 0
+        # Registry order is preserved in the header.
+        header = path.read_text().splitlines()[0].split(",")
+        hits = header.index("perf_fanout_cache_hits")
+        misses = header.index("perf_fanout_cache_misses")
+        assert hits < misses
+
+    def test_profile_columns_appear_for_profiled_runs(self, tmp_path):
+        cfg = ScenarioConfig(protocol="aodv", seed=2, profile=True, **SMALL)
+        summaries = run_replications(cfg, 1)
+        path = tmp_path / "prof.csv"
+        summaries_to_csv(summaries, path, include_perf=True)
+        header = path.read_text().splitlines()[0].split(",")
+        prof_cols = [c for c in header if c.startswith("profile_")]
+        assert "profile_event-loop_s" in prof_cols
+        rows = list(csv.DictReader(open(path)))
+        assert float(rows[0]["profile_event-loop_s"]) > 0.0
+
+    def test_sweep_csv_perf_flag(self, tmp_path):
+        base = ScenarioConfig(seed=3, **SMALL)
+        result = run_sweep(base, "pause_time", [0.0], ["aodv"],
+                           replications=1, processes=1)
+        path = tmp_path / "sweep_perf.csv"
+        sweep_to_csv(result, path, include_perf=True)
+        header = path.read_text().splitlines()[0]
+        assert "perf_fanout_cache_hits" in header

@@ -79,3 +79,71 @@ def test_sweep_csv_export(tmp_path, capsys):
     ]) == 0
     assert csv_path.exists()
     assert "pause_time" in csv_path.read_text().splitlines()[0]
+
+
+def test_run_profile_flag(capsys):
+    assert main(["run", "--protocol", "aodv", "--profile", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "Profile (wall time)" in out
+    assert "event-loop" in out
+
+
+def test_run_profile_out_and_obs_report(tmp_path, capsys):
+    prof = tmp_path / "profile.json"
+    assert main([
+        "run", "--protocol", "aodv", "--profile-out", str(prof), *FAST,
+    ]) == 0
+    assert prof.exists()
+    capsys.readouterr()
+    assert main(["obs", "report", str(prof)]) == 0
+    out = capsys.readouterr().out
+    assert "event-loop" in out and "self %" in out
+
+
+def test_run_telemetry_export(tmp_path, capsys):
+    from repro.obs.telemetry import load_telemetry_jsonl
+
+    tele = tmp_path / "tele.jsonl"
+    assert main([
+        "run", "--protocol", "aodv", "--telemetry", str(tele),
+        "--telemetry-interval", "5", *FAST,
+    ]) == 0
+    samples = load_telemetry_jsonl(tele)  # validates every line
+    assert len(samples) == 4  # duration 20 at interval 5
+    assert "telemetry sample(s)" in capsys.readouterr().out
+
+
+def test_sweep_progress_and_manifest(tmp_path, capsys, monkeypatch):
+    # The manifest is published next to the journal, so this test opts
+    # back into the cache (hermetic: cwd is a tmp dir).
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("MANETSIM_NO_SWEEP_CACHE", "0")
+    assert main([
+        "sweep", "--param", "pause_time", "--values", "0",
+        "--protocols", "aodv", "--processes", "1", "--progress", *FAST,
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "sweep 1/1" in captured.err
+    assert "[manifest: " in captured.out
+    capsys.readouterr()
+    manifest = tmp_path / ".manetsim-cache" / "manifest.json"
+    assert manifest.exists()
+    assert main(["obs", "report", str(manifest)]) == 0
+    assert "jobs total" in capsys.readouterr().out
+
+
+def test_sweep_perf_csv_columns(tmp_path, capsys):
+    csv_path = tmp_path / "sweep.csv"
+    assert main([
+        "sweep", "--param", "pause_time", "--values", "0",
+        "--protocols", "aodv", "--processes", "1", "--perf",
+        "--csv", str(csv_path), *FAST,
+    ]) == 0
+    assert "perf_fanout_cache_hits" in csv_path.read_text().splitlines()[0]
+
+
+def test_obs_report_rejects_garbage(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"hello": 1}')
+    assert main(["obs", "report", str(bogus)]) == 1
+    assert "neither" in capsys.readouterr().err
