@@ -37,6 +37,13 @@ SEED_BASELINE_MEANS = {
     "test_perf_routing_control": 5.9326e-3,
     "test_perf_linkcache_get": 5.8616e-3,
     "test_perf_large_scenario": 2.4331,
+    # PR-6 benches: means measured at the introducing commit on the
+    # same machine (the batched engine and its per-pair twin are
+    # within noise of each other at these scales; the baseline is the
+    # measured mean, not an aspirational one).
+    "test_perf_phy_arrivals": 104.5e-3,
+    "test_perf_phy_arrivals_legacy": 106.7e-3,
+    "test_perf_xlarge_scenario": 3.3628,
 }
 
 #: Benchmark files whose results land in BENCH_kernel.json.
@@ -44,6 +51,8 @@ KERNEL_BENCH_FILES = (
     "test_perf_kernel",
     "test_perf_routing_control",
     "test_perf_large_scenario",
+    "test_perf_phy_arrivals",
+    "test_perf_xlarge_scenario",
 )
 
 #: Expected cache hit ratios on the probe scenario below (deterministic:
@@ -53,6 +62,10 @@ KERNEL_BENCH_FILES = (
 HIT_RATIO_BASELINE = {
     "fanout_cache": 0.5272,
     "batch_positions": 1.0,
+    # Fraction of PHY arrivals resolved by the batched engine (the
+    # remainder fell back to the per-pair path). 1.0 on the probe
+    # scenario: DCF is batch-safe, so every fan-out batches.
+    "phy_batch": 1.0,
 }
 
 
@@ -80,6 +93,9 @@ def _measure_hit_ratios():
         "batch_positions": ratio(
             perf["batch_position_evals"], perf["scalar_position_evals"]
         ),
+        "phy_batch": ratio(
+            perf["phy_batch_arrivals"], perf["phy_legacy_arrivals"]
+        ),
     }
 
 
@@ -103,7 +119,9 @@ def pytest_sessionfinish(session, exitstatus):
     payload = {
         "source": "benchmarks/test_perf_kernel.py, "
                   "benchmarks/test_perf_routing_control.py, "
-                  "benchmarks/test_perf_large_scenario.py",
+                  "benchmarks/test_perf_large_scenario.py, "
+                  "benchmarks/test_perf_phy_arrivals.py, "
+                  "benchmarks/test_perf_xlarge_scenario.py",
         "units": "seconds",
         "baseline": "pre-PR commit means on the reference machine",
         "benchmarks": {},
@@ -121,11 +139,15 @@ def pytest_sessionfinish(session, exitstatus):
             entry["seed_mean"] = seed_mean
             entry["speedup_vs_seed"] = round(seed_mean / stats.mean, 2)
         payload["benchmarks"][bench.name] = entry
-    # The legacy engine disables the caches entirely; ratios of 0 there
-    # are expected, not a regression, so only the fast engine records.
+    # The legacy engines disable the caches/batching entirely; ratios
+    # of 0 there are expected, not a regression, so only the fast
+    # engine records.
     import os as _os
 
-    if _os.environ.get("MANETSIM_LEGACY_KINEMATICS") != "1":
+    if (
+        _os.environ.get("MANETSIM_LEGACY_KINEMATICS") != "1"
+        and _os.environ.get("MANETSIM_LEGACY_PHY") != "1"
+    ):
         ratios = _measure_hit_ratios()
         payload["hit_ratios"] = {
             name: {

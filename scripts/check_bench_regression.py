@@ -19,7 +19,11 @@ a cache whose hit ratio dropped more than ``--ratio-drop`` (default
 20%) below its recorded baseline fails the gate even if wall time is
 still inside the noise floor — ratios decay before timings do, and
 they are deterministic (fixed-seed probe scenario), so no noise
-allowance is needed.
+allowance is needed.  Alongside the position/fan-out cache ratios this
+includes ``phy_batch``, the fraction of PHY arrivals the batched
+engine resolved (vs per-pair fallbacks): a drop means stacks silently
+stopped qualifying for batching (e.g. a MAC lost ``batch_safe``),
+which costs wall time long before the timing gate notices.
 
 Usage::
 

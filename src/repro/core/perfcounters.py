@@ -75,6 +75,10 @@ register_counter("arrivals_pooled",
 register_counter("sweep_cache_hits",
                  "sweep cells served from the on-disk result cache")
 register_counter("sweep_cache_misses", "sweep cells actually simulated")
+register_counter("phy_batch_arrivals",
+                 "receiver arrivals resolved by the batched PHY engine")
+register_counter("phy_legacy_arrivals",
+                 "receiver arrivals resolved by the per-pair legacy path")
 
 
 class PerfCounters:
@@ -101,6 +105,12 @@ class PerfCounters:
         """Fraction of transmissions whose geometry came from the memo."""
         total = self.fanout_cache_hits + self.fanout_cache_misses
         return self.fanout_cache_hits / total if total else 0.0
+
+    def phy_batch_ratio(self) -> float:
+        """Fraction of receiver arrivals resolved by the batched engine."""
+        batch = getattr(self, "phy_batch_arrivals", 0)
+        total = batch + getattr(self, "phy_legacy_arrivals", 0)
+        return batch / total if total else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)

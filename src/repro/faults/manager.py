@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Set
 
+import numpy as np
+
 from ..core.errors import FaultInjectionError
 from ..stats.energy import EnergyParams
 from .plan import FaultPlanConfig
@@ -301,6 +303,45 @@ class FaultManager:
                 continue
             out.append(entry)
         return out
+
+    def filter_targets_array(self, src_id: int, ids, now: float):
+        """Array twin of :meth:`filter_targets` for the batched engine.
+
+        Takes the fan-out's receiver-id array; returns a keep-mask, or
+        ``None`` when no fault is active (keep everything). The checks
+        run in receiver order and the link-loss RNG is drawn once per
+        surviving candidate — exactly the sequence the list variant
+        consumes — so a plan is bit-reproducible across both engines.
+        """
+        stats = self.stats
+        plan = self.plan
+        n = ids.shape[0]
+        if plan.blackouts and self._in_window(plan.blackouts, now):
+            stats.blackout_drops += n
+            return np.zeros(n, dtype=bool)
+        x_split = self._active_partition(now) if plan.partitions else None
+        loss = plan.link_loss
+        down = self._down
+        if x_split is None and loss == 0.0 and not any(down):
+            return None
+        if x_split is not None:
+            positions = self.network.mobility.positions(now)
+            src_side = positions[src_id, 0] < x_split
+        rng = self._link_rng
+        keep = np.ones(n, dtype=bool)
+        for k, nid in enumerate(ids.tolist()):
+            if down[nid]:
+                stats.down_rx_drops += 1
+                keep[k] = False
+                continue
+            if x_split is not None and (positions[nid, 0] < x_split) != src_side:
+                stats.partition_drops += 1
+                keep[k] = False
+                continue
+            if loss > 0.0 and rng.random() < loss:
+                stats.link_drops += 1
+                keep[k] = False
+        return keep
 
     # -------------------------------------------------------------- summary
 

@@ -45,6 +45,11 @@ _WAIT_ACK = 6
 class DcfMac(MacLayer):
     """802.11 DCF channel access for one node.
 
+    DCF never transmits synchronously from a delivery or carrier-edge
+    callback (responses go through a SIFS timer), so the channel's
+    batched arrival engine can resolve a whole fan-out without this MAC
+    re-entering it mid-batch.
+
     Parameters
     ----------
     sim, radio:
@@ -62,6 +67,10 @@ class DcfMac(MacLayer):
         Deliver overheard data frames to ``upper.snoop`` (DSR uses this
         for route-cache learning).
     """
+
+    #: Safe under the batched arrival engine: every transmission is
+    #: timer-driven, never synchronous from a radio callback.
+    batch_safe = True
 
     def __init__(
         self,
@@ -82,6 +91,10 @@ class DcfMac(MacLayer):
         self.retry_limit = retry_limit
 
         self._state = _IDLE
+        #: Mirror of ``_WAIT_MEDIUM <= _state <= _BACKOFF``, pushed to
+        #: the radio so the batched engine only generates
+        #: ``medium_changed`` edges this MAC can react to.
+        self._waiting = False
         self._current: Optional[Tuple[Packet, int]] = None
         self._retries = 0
         self._cw = Dot11.CW_MIN
@@ -125,22 +138,37 @@ class DcfMac(MacLayer):
         self._backoff_slots = int(self.rng.integers(0, self._cw + 1))
         self._begin_contention()
 
+    def _set_state(self, state: int) -> None:
+        """Transition the service state, mirroring the waiting flag.
+
+        The radio hint lets the batched arrival engine skip
+        ``medium_changed`` notifications while we are in a state that
+        ignores them (see :meth:`medium_changed`'s range check — the
+        gate and this mirror encode the same condition).
+        """
+        self._state = state
+        waiting = _WAIT_MEDIUM <= state <= _BACKOFF
+        if waiting != self._waiting:
+            self._waiting = waiting
+            self.radio.set_mac_waiting(waiting)
+
     def _medium_busy(self) -> bool:
         # carrier_busy() already covers our own transmission (_tx_end);
         # inlined here because medium_changed fires on every arrival edge.
         radio = self.radio
-        return (
-            radio._tx_end is not None
-            or bool(radio._arrivals)
-            or self.sim._now < self._nav
-        )
+        if radio._tx_end is not None or self.sim._now < self._nav:
+            return True
+        led = radio._led
+        if led is not None:
+            return led.counts[radio.node_id] > 0
+        return bool(radio._arrivals)
 
     def _begin_contention(self) -> None:
         if self._medium_busy():
-            self._state = _WAIT_MEDIUM
+            self._set_state(_WAIT_MEDIUM)
             self._ensure_nav_wake()
             return
-        self._state = _DIFS
+        self._set_state(_DIFS)
         self._timer = self.sim.schedule(Dot11.DIFS, self._difs_done)
 
     def _ensure_nav_wake(self) -> None:
@@ -181,7 +209,7 @@ class DcfMac(MacLayer):
         elif state == _DIFS and busy:
             self.sim.cancel(self._timer)
             self._timer = None
-            self._state = _WAIT_MEDIUM
+            self._set_state(_WAIT_MEDIUM)
             self._ensure_nav_wake()
         elif state == _BACKOFF and busy:
             self.sim.cancel(self._timer)
@@ -189,7 +217,7 @@ class DcfMac(MacLayer):
             elapsed = self.sim.now - self._backoff_start
             consumed = int(math.floor(elapsed / Dot11.SLOT + 1e-9))
             self._backoff_slots = max(0, self._backoff_slots - consumed)
-            self._state = _WAIT_MEDIUM
+            self._set_state(_WAIT_MEDIUM)
             self._ensure_nav_wake()
 
     def _difs_done(self) -> None:
@@ -197,7 +225,7 @@ class DcfMac(MacLayer):
         if self._backoff_slots == 0:
             self._transmit_current()
             return
-        self._state = _BACKOFF
+        self._set_state(_BACKOFF)
         self._backoff_start = self.sim.now
         self._timer = self.sim.schedule(
             self._backoff_slots * Dot11.SLOT, self._backoff_done
@@ -217,7 +245,7 @@ class DcfMac(MacLayer):
             # A SIFS response frame grabbed the radio; re-contend when
             # it completes (medium_changed will fire).
             self._backoff_slots = max(1, self._backoff_slots)
-            self._state = _WAIT_MEDIUM
+            self._set_state(_WAIT_MEDIUM)
             return
         wants_rts = (
             self.use_rtscts
@@ -241,7 +269,7 @@ class DcfMac(MacLayer):
             frame = Frame.data(self.address, next_hop, packet, nav=nav)
             self._pending_data = None
             self.stats.data_sent += 1
-        self._state = _TX
+        self._set_state(_TX)
         self._tx_frame = frame
         self.radio.transmit(frame)
 
@@ -256,7 +284,7 @@ class DcfMac(MacLayer):
             timeout = (
                 Dot11.SIFS + self._airtime(Dot11.CTS_SIZE) + 2 * Dot11.SLOT
             )
-            self._state = _WAIT_CTS
+            self._set_state(_WAIT_CTS)
             self._timer = self.sim.schedule(timeout, self._cts_timeout)
         elif frame.ftype == FrameType.DATA:
             if frame.is_broadcast:
@@ -265,7 +293,7 @@ class DcfMac(MacLayer):
                 timeout = (
                     Dot11.SIFS + self._airtime(Dot11.ACK_SIZE) + 2 * Dot11.SLOT
                 )
-                self._state = _WAIT_ACK
+                self._set_state(_WAIT_ACK)
                 self._timer = self.sim.schedule(timeout, self._ack_timeout)
 
     # ------------------------------------------------------------- receive
@@ -287,7 +315,7 @@ class DcfMac(MacLayer):
                 self._pending_data = None
                 if data is not None:
                     self.stats.data_sent += 1
-                    self._state = _TX
+                    self._set_state(_TX)
                     self._tx_frame = data
                     self._schedule_response(data, own_exchange=True)
             elif frame.dst != self.address:
@@ -362,7 +390,7 @@ class DcfMac(MacLayer):
         if self._retries > self.retry_limit:
             packet, next_hop = self._current
             self._current = None
-            self._state = _IDLE
+            self._set_state(_IDLE)
             self._cw = Dot11.CW_MIN
             self._link_failed(packet, next_hop)
             # The failure callback may have re-entered send() (e.g. a
@@ -380,7 +408,7 @@ class DcfMac(MacLayer):
     def _complete_success(self) -> None:
         current = self._current
         self._current = None
-        self._state = _IDLE
+        self._set_state(_IDLE)
         self._cw = Dot11.CW_MIN
         if current is not None:
             # A completed broadcast control packet is dead: receivers
@@ -398,3 +426,11 @@ class DcfMac(MacLayer):
             # expiry wake-up is scheduled lazily (see _ensure_nav_wake)
             # so reservations that nobody waits on cost no events.
             self.medium_changed()
+
+    #: Batched-engine shortcut for frames addressed to another node:
+    #: for a non-promiscuous DCF their only effect is the virtual
+    #: carrier-sense update, so the channel applies the NAV directly
+    #: instead of walking :meth:`on_frame_received`'s dispatch. Same
+    #: code object as ``_set_nav`` — identical behaviour by construction.
+    overhear_nav = _set_nav
+    batch_overhear = True

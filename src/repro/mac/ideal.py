@@ -24,6 +24,12 @@ __all__ = ["IdealMac"]
 class IdealMac(MacLayer):
     """FIFO transmit queue straight onto the radio."""
 
+    #: NOT batch-safe: ``on_frame_received`` can synchronously start the
+    #: next queued transmission (via ``send`` → ``_try_next``), which
+    #: would re-enter the channel inside a batch resolve. The ideal MAC
+    #: therefore always runs on the per-pair reference PHY path.
+    batch_safe = False
+
     #: Gap between back-to-back frames (s). Keeps consecutive arrivals
     #: strictly ordered at receivers (a zero gap makes the end of frame
     #: k and the start of frame k+1 float-arithmetic ties).

@@ -60,6 +60,7 @@ def build_network(
     batch_kinematics: bool = True,
     fanout_cache: bool = True,
     position_quantum: float = 0.0,
+    batched_phy: bool = False,
 ) -> Network:
     """Assemble the full stack for ``len(mobility_models)`` nodes.
 
@@ -67,6 +68,13 @@ def build_network(
     paths (the legacy per-node paths are kept for determinism A/B
     testing); ``position_quantum`` is the channel's geometry sample
     period (see :class:`~repro.phy.channel.Channel`).
+
+    ``batched_phy`` requests the batched arrival engine
+    (:meth:`~repro.phy.channel.Channel.enable_batched`); it is honored
+    only when every MAC is ``batch_safe`` and PHY tracing is off, and
+    defaults to off so direct callers (unit tests that monkeypatch
+    ``Radio.begin_arrival``) keep the per-pair reference path. The
+    scenario builder opts in unless ``MANETSIM_LEGACY_PHY=1``.
     """
     propagation = propagation if propagation is not None else TwoRayGround()
     params = radio_params if radio_params is not None else WAVELAN_914MHZ
@@ -90,4 +98,6 @@ def build_network(
         node = Node(sim, i, radio, mac, routing)
         routing.node = node
         nodes.append(node)
+    if batched_phy:
+        channel.enable_batched()
     return Network(sim, nodes, channel, mobility)

@@ -163,7 +163,7 @@ class TelemetryRecorder:
             caches += sizes["cache"]
             neighbors += sizes["neighbors"]
             sendbuf += sizes["buffer"]
-            inflight += len(node.radio._arrivals)
+            inflight += node.radio.active_arrival_count()
             if not routing.alive:
                 faulted += 1
 

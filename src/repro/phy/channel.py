@@ -20,13 +20,63 @@ import numpy as np
 
 from ..core.errors import ConfigurationError, SimulationError
 from ..core.simulator import Simulator
-from ..mac.frames import Frame
+from ..mac.frames import Frame, FrameType
 from ..mobility.manager import MobilityManager
+from ..net.packet import BROADCAST
 from .propagation import PropagationModel, RadioParams
-from .radio import Radio
+from .radio import ArrivalLedger, Radio
 from .spatial import SpatialIndex
 
 __all__ = ["Channel", "ChannelStats"]
+
+
+class _BatchTargets:
+    """One (src, position-epoch) fan-out in array form, memo-resident.
+
+    Besides the id/power vectors this precomputes the decode-threshold
+    mask and the plain-Python list twins the per-transmission loops
+    consume, so a memo hit pays zero array→list conversions.
+    """
+
+    __slots__ = ("ids", "powers", "dec", "dec_idx", "dec_pw", "ids_list",
+                 "dec_ids_list", "dec_list", "pw_list")
+
+    def __init__(self, ids, powers, rx_threshold):
+        self.ids = ids
+        self.powers = powers
+        dec = powers >= rx_threshold
+        self.dec = dec
+        self.dec_idx = ids[dec]
+        self.dec_pw = powers[dec]
+        self.ids_list = ids.tolist()
+        self.dec_ids_list = self.dec_idx.tolist()
+        self.dec_list = dec.tolist()
+        self.pw_list = powers.tolist()
+
+
+class _TxBatch:
+    """One in-flight transmission as tracked by the batched engine.
+
+    ``added``/``added_pw`` are the receivers whose arrival actually
+    began (powered-off radios excluded) and their powers — the rows the
+    end event must retire from the ledger. ``win_list`` marks decode
+    winners per ``added`` position; ``pw_list`` carries the delivery
+    powers. List twins are kept so the end loop runs on plain Python
+    scalars.
+    """
+
+    __slots__ = ("frame", "added", "added_pw", "added_list", "win_list",
+                 "pw_list", "end")
+
+    def __init__(self, frame, added, added_pw, added_list, win_list,
+                 pw_list, end):
+        self.frame = frame
+        self.added = added
+        self.added_pw = added_pw
+        self.added_list = added_list
+        self.win_list = win_list
+        self.pw_list = pw_list
+        self.end = end
 
 
 class ChannelStats:
@@ -102,6 +152,14 @@ class Channel:
             )
         self._grid: Optional[SpatialIndex] = None
         self._grid_time = -1.0
+        #: Squared-distance prefilter for the vectorized fan-out: every
+        #: propagation model here is monotone in distance, so nodes
+        #: beyond the carrier-sense range (+0.1% float-safety slack)
+        #: can be dropped *before* the path-loss evaluation. The exact
+        #: ``power >= cs_threshold`` mask is still applied to the
+        #: survivors, so results cannot change — the prefilter only
+        #: shrinks the vectors the model math runs on.
+        self._prefilter_d2 = (self._max_range * 1.001) ** 2
         #: Below this node count, fan-out uses the scalar power loop.
         self._scalar_threshold = 32
         self._pts_time = -1.0
@@ -111,6 +169,14 @@ class Channel:
         self._quantum = position_quantum
         #: src id -> (sample time, eligible ids, powers aligned with them).
         self._memo: dict = {}
+        #: Batched arrival engine (see :meth:`enable_batched`). Off by
+        #: default: direct ``build_network`` users (unit tests that
+        #: monkeypatch ``begin_arrival`` etc.) keep the per-pair path.
+        self._batched = False
+        self._ledger: Optional[ArrivalLedger] = None
+        #: Every MAC supports ``overhear_nav`` (virtual carrier sense
+        #: applied by the batch instead of a full delivery walk).
+        self._overhear_ok = False
         self.perf = sim.perf
         #: Optional span profiler (None = no instrumentation). Only the
         #: fan-out *miss* path checks it — the memoized hit path, which
@@ -141,6 +207,55 @@ class Channel:
         """Carrier-sense range (m): the fan-out radius."""
         return self._max_range
 
+    # ------------------------------------------------------- batched engine
+
+    def enable_batched(self) -> bool:
+        """Switch this channel to the batched arrival engine.
+
+        Called after every radio *and* MAC is attached (the stack
+        builder does this when ``batched_phy`` is requested). The
+        engine is only safe for MACs that never transmit synchronously
+        from a delivery callback (``batch_safe``) — reentrant MACs like
+        :class:`~repro.mac.ideal.IdealMac` would interleave a new
+        fan-out inside the batch resolve, so they keep the per-pair
+        path. PHY tracing also falls back: the batched pass reorders
+        trace *emission* (never outcomes), and trace runs are
+        debugging runs anyway.
+
+        Returns whether batched mode is now active.
+        """
+        if self.sim.tracer.enabled("phy"):
+            return False
+        for radio in self.radios:
+            if radio is None:
+                return False
+            mac = radio.mac
+            if mac is not None and not getattr(mac, "batch_safe", False):
+                return False
+        ledger = ArrivalLedger(len(self.radios))
+        for radio in self.radios:
+            ledger.down[radio.node_id] = radio._down
+            ledger.txing[radio.node_id] = radio._tx_end is not None
+            radio._led = ledger
+        ledger.n_down = int(ledger.down.sum())
+        ledger.n_txing = int(ledger.txing.sum())
+        self._ledger = ledger
+        self._batched = True
+        self._overhear_ok = all(
+            radio.mac is None or getattr(radio.mac, "batch_overhear", False)
+            for radio in self.radios
+        )
+        return True
+
+    def flush_phy_stats(self) -> None:
+        """Fold batched-mode stat deltas into per-radio RadioStats.
+
+        Must run before radio counters are read for metrics; a no-op
+        on the legacy path (stats are updated in place there).
+        """
+        if self._ledger is not None:
+            self._ledger.flush(self.radios)
+
     # ------------------------------------------------------------ transmit
 
     def transmit(self, src: Radio, frame: Frame, duration: float) -> None:
@@ -154,6 +269,8 @@ class Channel:
         self.stats.airtime += duration
         src_id = src.node_id
         perf = self.perf
+        batched = self._batched
+        build = self._build_targets_batched if batched else self._build_targets
         if self._fanout_cache:
             hit = self._memo.get(src_id)
             if hit is not None and hit[0] == tq:
@@ -161,15 +278,18 @@ class Channel:
                 if perf is not None:
                     perf.fanout_cache_hits += 1
             else:
-                targets = self._build_targets(src_id, tq)
+                targets = build(src_id, tq)
                 self._memo[src_id] = (tq, targets)
                 if perf is not None:
                     perf.fanout_cache_misses += 1
         else:
-            targets = self._build_targets(src_id, tq)
+            targets = build(src_id, tq)
             if perf is not None:
                 perf.fanout_cache_misses += 1
-        self._fan_out(src, frame, duration, targets)
+        if batched:
+            self._fan_out_batched(src, frame, duration, targets)
+        else:
+            self._fan_out(src, frame, duration, targets)
 
     def _build_targets(self, src_id: int, tq: float) -> list:
         """Fan-out list for *src_id* at sample time *tq*.
@@ -200,6 +320,31 @@ class Channel:
                 raise SimulationError(f"node {i} is in range but has no radio")
             append((radio, p))
         return targets
+
+    def _build_targets_batched(self, src_id: int, tq: float):
+        """Array-form fan-out memo entry for the batched engine.
+
+        Returns ``(ids, powers, dec)``: receiver node ids (the source
+        excluded), their receive powers, and the precomputed
+        decode-sensitivity mask ``powers >= rx_threshold``. Same
+        geometry, same float64 expressions as :meth:`_build_targets` —
+        only the container differs.
+        """
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("channel.fanout")
+            try:
+                return self._build_targets_batched_inner(src_id, tq)
+            finally:
+                prof.end()
+        return self._build_targets_batched_inner(src_id, tq)
+
+    def _build_targets_batched_inner(self, src_id: int, tq: float):
+        eligible, powers = self._compute_fanout(src_id, tq)
+        ids = np.asarray(eligible, dtype=np.intp)
+        pw = np.asarray(powers, dtype=np.float64)
+        keep = ids != src_id
+        return _BatchTargets(ids[keep], pw[keep], self.params.rx_threshold)
 
     def _compute_fanout(self, src_id: int, tq: float):
         """Eligible receiver ids and their rx powers at sample time *tq*.
@@ -242,15 +387,22 @@ class Channel:
             dx = positions[idx, 0] - sx
             dy = positions[idx, 1] - sy
             d2 = dx * dx + dy * dy
-            powers = self.propagation.rx_power_d2_vec(self.params.tx_power, d2)
+            near = d2 <= self._prefilter_d2
+            idx = idx[near]
+            powers = self.propagation.rx_power_d2_vec(
+                self.params.tx_power, d2[near]
+            )
             keep = powers >= self.params.cs_threshold
             return idx[keep].tolist(), powers[keep].tolist()
         dx = positions[:, 0] - sx
         dy = positions[:, 1] - sy
         d2 = dx * dx + dy * dy
-        powers = self.propagation.rx_power_d2_vec(self.params.tx_power, d2)
-        eligible = np.nonzero(powers >= self.params.cs_threshold)[0]
-        return eligible.tolist(), powers[eligible].tolist()
+        near = np.nonzero(d2 <= self._prefilter_d2)[0]
+        powers = self.propagation.rx_power_d2_vec(
+            self.params.tx_power, d2[near]
+        )
+        keep = powers >= self.params.cs_threshold
+        return near[keep].tolist(), powers[keep].tolist()
 
     def _grid_candidates(self, positions, tq, sx, sy):
         perf = self.perf
@@ -288,9 +440,215 @@ class Channel:
             if entry is not None:
                 append((radio, entry))
         self.stats.deliveries_attempted += len(targets)
+        perf = self.perf
+        if perf is not None:
+            perf.phy_legacy_arrivals += len(targets)
         self.sim.schedule(duration, self._end_transmission, src, frame, ended)
 
     def _end_transmission(self, src: Radio, frame: Frame, ended) -> None:
         for radio, entry in ended:
             radio.end_arrival(entry)
+        src._transmit_done(frame)
+
+    # The batched engine resolves a whole fan-out with NumPy gathers
+    # over the shared ArrivalLedger instead of one begin_arrival call
+    # per receiver, and one end event per *transmission* instead of per
+    # (transmission, receiver) pair. Every mask below evaluates the
+    # same comparison, on the same float64 values, as the corresponding
+    # branch in Radio.begin_arrival — see DESIGN.md "Batched arrival
+    # engine" for the case-by-case equivalence argument.
+
+    def _fan_out_batched(self, src, frame, duration, mb: _BatchTargets) -> None:
+        led = self._ledger
+        radios = self.radios
+        now = self.sim._now
+        hook = self.fault_hook
+        keep = None
+        if hook is not None:
+            keep = hook.filter_targets_array(src.node_id, mb.ids, now)
+        perf = self.perf
+        if keep is None:
+            ids = mb.ids
+            powers = mb.powers
+            n = ids.shape[0]
+            self.stats.deliveries_attempted += n
+            if perf is not None:
+                perf.phy_batch_arrivals += n
+            if not led.active and led.n_txing == 1 and led.n_down == 0:
+                # Quiet channel — the common case at the paper's
+                # densities: nothing else is on the air (the only
+                # transmitter is the source itself), nobody is down,
+                # so every receiver is idle and every reception-rule
+                # mask collapses: all arrivals are added, and exactly
+                # the above-sensitivity ones decode.
+                led.counts[ids] = 1
+                led.strongest[ids] = powers
+                led.rx_power[mb.dec_idx] = mb.dec_pw
+                for nid in mb.dec_ids_list:
+                    r = radios[nid]
+                    r._rx_frame = frame
+                    r._rx_corrupt = False
+                    r.stats.airtime_rx += duration
+                batch = _TxBatch(frame, ids, powers, mb.ids_list,
+                                 mb.dec_list, mb.pw_list, now + duration)
+                led.active.append(batch)
+                self.sim.schedule(duration, self._end_transmission_batched,
+                                  src, frame, batch)
+                w = led.wants_medium[ids]
+                if w.any():
+                    for nid in ids[w].tolist():
+                        mac = radios[nid].mac
+                        if mac is not None:
+                            mac.medium_changed()
+                return
+            dec = mb.dec
+        else:
+            ids = mb.ids[keep]
+            powers = mb.powers[keep]
+            dec = mb.dec[keep]
+            n = ids.shape[0]
+            self.stats.deliveries_attempted += n
+            if perf is not None:
+                perf.phy_batch_arrivals += n
+
+        ratio = self.params.capture_ratio
+        down = led.down[ids]
+        alive = ~down
+        if led.n_down:
+            led.d_down_rx[ids[down]] += 1
+        txb = led.txing[ids]
+        m_half = alive & txb
+        led.d_halfduplex[ids[m_half]] += 1
+        open_rx = alive & ~txb
+        rxp = led.rx_power[ids]
+        decoding = open_rx & (rxp > 0.0)
+        # Already decoding: capture (decode survives, new energy is
+        # ignored) or mutual corruption of decode and new arrival.
+        m_capture = decoding & (rxp >= ratio * powers)
+        m_kill = decoding & ~m_capture
+        led.d_capture[ids[m_capture]] += 1
+        # Idle decode candidate: above the sensitivity floor and above
+        # the capture margin over the strongest pre-existing arrival.
+        m_idle_rx = open_rx & ~decoding & dec
+        m_win = m_idle_rx & (powers >= ratio * led.strongest[ids])
+        led.d_collisions[ids[m_kill | (m_idle_rx & ~m_win)]] += 1
+        # Carrier edge: the medium flips idle -> busy for these.
+        was_idle = open_rx & (led.counts[ids] == 0)
+
+        for nid in ids[m_kill].tolist():
+            radios[nid]._rx_corrupt = True
+        led.rx_power[ids[m_win]] = powers[m_win]
+        for nid in ids[m_win].tolist():
+            r = radios[nid]
+            r._rx_frame = frame
+            r._rx_corrupt = False
+            r.stats.airtime_rx += duration
+        added = ids[alive]
+        added_pw = powers[alive]
+        led.counts[added] += 1
+        led.strongest[added] = np.maximum(led.strongest[added], added_pw)
+
+        batch = _TxBatch(frame, added, added_pw, added.tolist(),
+                         m_win[alive].tolist(), added_pw.tolist(),
+                         now + duration)
+        led.active.append(batch)
+        self.sim.schedule(duration, self._end_transmission_batched, src,
+                          frame, batch)
+        # Notify idle->busy edges last (ledger state is final), in
+        # receiver order, and only where the MAC is parked in a
+        # contention state (medium_changed provably no-ops otherwise).
+        for nid in ids[was_idle & led.wants_medium[ids]].tolist():
+            mac = radios[nid].mac
+            if mac is not None:
+                mac.medium_changed()
+
+    def _end_transmission_batched(self, src, frame, batch: _TxBatch) -> None:
+        led = self._ledger
+        active = led.active
+        active.remove(batch)
+        added = batch.added
+        led.counts[added] -= 1
+        # Strongest-arrival recompute: zero the ended receivers and
+        # re-max over the transmissions still on the air. max is
+        # order-independent, so this is exact, and re-maxing radios
+        # outside `added` is idempotent. With no other transmission in
+        # flight every count is back to zero and the recompute (and the
+        # per-receiver count check below) is skipped outright.
+        led.strongest[added] = 0.0
+        if active:
+            for other in active:
+                oa = other.added
+                led.strongest[oa] = np.maximum(led.strongest[oa],
+                                               other.added_pw)
+            counts_l = led.counts[added].tolist()
+        else:
+            counts_l = None
+        txing_l = led.txing[added].tolist()
+        wants_l = led.wants_medium[added].tolist()
+        radios = self.radios
+        win_l = batch.win_list
+        pw_l = batch.pw_list
+        prof = self.profiler
+        # Overhear classification, once per frame instead of once per
+        # receiver: a non-broadcast frame's only effect on a receiver it
+        # is not addressed to is the NAV update (virtual carrier sense),
+        # so the batch applies it directly via ``overhear_nav`` and
+        # skips the MAC's per-frame dispatch. Promiscuous MACs still
+        # take the full path for DATA (they snoop overheard payloads).
+        frame_dst = frame.dst
+        if self._overhear_ok and frame_dst != BROADCAST:
+            bulk = True
+            ftype = frame.ftype
+            data_frame = ftype == FrameType.DATA
+            nav_t = (
+                None if ftype == FrameType.ACK
+                else self.sim._now + frame.nav
+            )
+        else:
+            bulk = False
+            data_frame = False
+            nav_t = None
+        # One ordered pass over the receivers whose arrival began:
+        # winners deliver (unless stomped/corrupted) and always get the
+        # carrier edge; bystanders get the edge only when this was
+        # their last overlapping arrival and their MAC is waiting —
+        # exactly the calls the per-pair end_arrival path makes, minus
+        # provable no-ops.
+        for k, nid in enumerate(batch.added_list):
+            r = radios[nid]
+            if win_l[k] and r._rx_frame is frame:
+                r._rx_frame = None
+                led.rx_power[nid] = 0.0
+                mac = r.mac
+                if not r._rx_corrupt:
+                    r.stats.frames_received += 1
+                    if mac is not None:
+                        if bulk and nid != frame_dst and not (
+                            data_frame and mac.promiscuous
+                        ):
+                            # NAV-only reception: same conditional
+                            # notify as _set_nav, then the end-of-
+                            # arrival edge (gated exactly like the
+                            # bystander branch below).
+                            if nav_t is not None:
+                                mac.overhear_nav(nav_t)
+                            if wants_l[k]:
+                                mac.medium_changed()
+                            continue
+                        if prof is not None:
+                            prof.begin("mac.deliver")
+                            try:
+                                mac.on_frame_received(frame, pw_l[k])
+                            finally:
+                                prof.end()
+                        else:
+                            mac.on_frame_received(frame, pw_l[k])
+                if mac is not None:
+                    mac.medium_changed()
+            elif wants_l[k] and not txing_l[k] and (
+                counts_l is None or counts_l[k] == 0
+            ):
+                mac = r.mac
+                if mac is not None:
+                    mac.medium_changed()
         src._transmit_done(frame)

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from ..core.errors import SimulationError
 from ..core.simulator import Simulator
 from ..mac.frames import Frame
 from .propagation import RadioParams
 
-__all__ = ["Radio", "RadioStats"]
+__all__ = ["ArrivalLedger", "Radio", "RadioStats"]
 
 
 class RadioStats:
@@ -69,6 +71,90 @@ class _Arrival:
         self.corrupted = False
 
 
+class ArrivalLedger:
+    """Array-backed interference state for the batched arrival engine.
+
+    One ledger is shared by every radio on a channel running in batched
+    mode (see ``Channel.enable_batched``). Instead of one ``_Arrival``
+    object per (transmission, receiver) pair, the channel keeps per-node
+    vectors — overlap counts, strongest in-flight power, decode power —
+    and resolves a whole transmission fan-out with NumPy gathers and
+    scatters. The per-receiver reception *rules* are unchanged; only
+    their evaluation is batched, so outcomes are bit-identical with the
+    legacy per-pair path (``MANETSIM_LEGACY_PHY=1``).
+
+    Stat deltas (collisions, capture, half-duplex, down-rx) accumulate
+    in int arrays and are folded into each radio's :class:`RadioStats`
+    by :meth:`flush` before metrics are read. ``airtime_rx`` stays a
+    per-radio scalar updated at decode start, because the energy model
+    reads it mid-run.
+    """
+
+    __slots__ = (
+        "counts",
+        "strongest",
+        "txing",
+        "down",
+        "rx_power",
+        "wants_medium",
+        "d_collisions",
+        "d_capture",
+        "d_halfduplex",
+        "d_down_rx",
+        "active",
+        "n_txing",
+        "n_down",
+    )
+
+    def __init__(self, n: int):
+        #: Overlapping in-flight arrivals per radio (carrier sense).
+        self.counts = np.zeros(n, dtype=np.int32)
+        #: Strongest in-flight arrival power per radio (capture floor).
+        self.strongest = np.zeros(n, dtype=np.float64)
+        #: Mirror of each radio's ``_tx_end is not None`` (half duplex).
+        self.txing = np.zeros(n, dtype=bool)
+        #: Mirror of each radio's ``_down`` flag (crash faults).
+        self.down = np.zeros(n, dtype=bool)
+        #: Power of the frame being decoded; 0.0 when not decoding.
+        self.rx_power = np.zeros(n, dtype=np.float64)
+        #: Whether the MAC above is parked in a contention state and
+        #: needs ``medium_changed`` edges (DCF states 1..3). Gating on
+        #: this skips only calls that are provably no-ops.
+        self.wants_medium = np.zeros(n, dtype=bool)
+        self.d_collisions = np.zeros(n, dtype=np.int64)
+        self.d_capture = np.zeros(n, dtype=np.int64)
+        self.d_halfduplex = np.zeros(n, dtype=np.int64)
+        self.d_down_rx = np.zeros(n, dtype=np.int64)
+        #: Transmissions currently on the air (``_TxBatch`` instances);
+        #: used to recompute ``strongest`` when one of them ends.
+        self.active: list = []
+        #: Scalar twins of ``txing.sum()`` / ``down.sum()``: the quiet-
+        #: channel fast path tests them without touching the arrays.
+        self.n_txing = 0
+        self.n_down = 0
+
+    def flush(self, radios) -> None:
+        """Fold the accumulated stat deltas into per-radio counters."""
+        cols = self.d_collisions
+        caps = self.d_capture
+        half = self.d_halfduplex
+        dwn = self.d_down_rx
+        touched = np.nonzero(cols | caps | half | dwn)[0]
+        for i in touched.tolist():
+            radio = radios[i]
+            if radio is None:
+                continue
+            stats = radio.stats
+            stats.collisions += int(cols[i])
+            stats.capture_ignored += int(caps[i])
+            stats.halfduplex_drops += int(half[i])
+            stats.down_rx_drops += int(dwn[i])
+        cols[touched] = 0
+        caps[touched] = 0
+        half[touched] = 0
+        dwn[touched] = 0
+
+
 class Radio:
     """Radio NIC of one node.
 
@@ -102,6 +188,14 @@ class Radio:
         self._down = False
         self._rx: Optional[_Arrival] = None
         self._tx_end: Optional[float] = None
+        #: Shared ArrivalLedger when the channel runs the batched
+        #: arrival engine; None selects the legacy per-pair path.
+        self._led: Optional[ArrivalLedger] = None
+        #: Batched-mode decode state (the ledger's object-free analogue
+        #: of ``_rx``): the frame being decoded and whether interference
+        #: has already corrupted it.
+        self._rx_frame: Optional[Frame] = None
+        self._rx_corrupt = False
         # Tracer categories are frozen at construction (core.trace), so
         # the per-arrival `enabled("phy")` check collapses to a bool.
         self._trace_phy = sim.tracer.enabled("phy")
@@ -128,10 +222,26 @@ class Radio:
         if self._rx is not None:
             self._rx.corrupted = True
             self._rx = None
+        led = self._led
+        if led is not None:
+            led.down[self.node_id] = True
+            led.n_down += 1
+            if self._rx_frame is not None:
+                # The interference power of the dying decode stays in
+                # the ledger (the energy is still on the air); only the
+                # decode itself is lost, as in the legacy path.
+                self._rx_frame = None
+                led.rx_power[self.node_id] = 0.0
 
     def power_on(self) -> None:
         """Recover from a crash fault: resume normal PHY behaviour."""
+        if not self._down:
+            return
         self._down = False
+        led = self._led
+        if led is not None:
+            led.down[self.node_id] = False
+            led.n_down -= 1
 
     # ------------------------------------------------------------- queries
 
@@ -141,17 +251,44 @@ class Radio:
 
     def carrier_busy(self) -> bool:
         """Physical carrier sense: transmitting or detectable energy."""
-        return self._tx_end is not None or bool(self._arrivals)
+        if self._tx_end is not None:
+            return True
+        led = self._led
+        if led is not None:
+            return led.counts[self.node_id] > 0
+        return bool(self._arrivals)
+
+    def active_arrival_count(self) -> int:
+        """In-flight arrivals currently detected at this radio."""
+        led = self._led
+        if led is not None:
+            return int(led.counts[self.node_id])
+        return len(self._arrivals)
 
     def busy_until(self) -> float:
         """Latest known end of the current busy period (now if idle)."""
         t = self.sim.now
         if self._tx_end is not None:
             t = max(t, self._tx_end)
+        led = self._led
+        if led is not None:
+            nid = self.node_id
+            for batch in led.active:
+                if batch.end > t and nid in batch.added_list:
+                    t = batch.end
+            return t
         for a in self._arrivals:
             if a.end > t:
                 t = a.end
         return t
+
+    def set_mac_waiting(self, waiting: bool) -> None:
+        """MAC hint: it is parked in a contention state and needs
+        ``medium_changed`` edges. Only consulted by the batched engine
+        (gating calls that would provably no-op); a no-op otherwise."""
+        led = self._led
+        if led is not None:
+            led.wants_medium[self.node_id] = waiting
 
     # -------------------------------------------------------------- sending
 
@@ -163,16 +300,29 @@ class Radio:
             raise SimulationError(
                 f"radio {self.node_id} asked to transmit while transmitting"
             )
+        led = self._led
         if self._down:
             # Powered off: the frame goes nowhere, but the MAC's transmit
             # cycle completes normally so its state machine stays sound.
             duration = frame.airtime(self.params.bitrate)
             self._tx_end = self.sim.now + duration
+            if led is not None:
+                # Half duplex survives the crash: should this radio
+                # recover mid-"transmission", arrivals are still lost.
+                led.txing[self.node_id] = True
+                led.n_txing += 1
             self.stats.down_tx_drops += 1
             self.sim.schedule(duration, self._transmit_done, frame)
             return duration
         # Transmitting stomps any reception in progress (half duplex).
-        if self._rx is not None:
+        if led is not None:
+            led.txing[self.node_id] = True
+            led.n_txing += 1
+            if self._rx_frame is not None:
+                self._rx_frame = None
+                led.rx_power[self.node_id] = 0.0
+                self.stats.halfduplex_drops += 1
+        elif self._rx is not None:
             self._rx.corrupted = True
             self.stats.halfduplex_drops += 1
             self._rx = None
@@ -188,20 +338,32 @@ class Radio:
 
     def _transmit_done(self, frame: Frame) -> None:
         self._tx_end = None
+        led = self._led
+        if led is not None:
+            led.txing[self.node_id] = False
+            led.n_txing -= 1
         if self.mac is not None:
             self.mac.on_transmit_done(frame)
             self.mac.medium_changed()
 
     # ------------------------------------------------------------ receiving
 
-    def begin_arrival(self, frame: Frame, power: float, duration: float, end: float = -1.0):
+    def begin_arrival(
+        self,
+        frame: Frame,
+        power: float,
+        duration: float,
+        end: Optional[float] = None,
+    ):
         """Channel callback: *frame* starts arriving with *power* watts.
 
         Returns the arrival entry (the channel ends it via
         :meth:`end_arrival` when the frame's airtime elapses), or
         ``None`` for undetectable signals. *end* is the precomputed
         arrival end time (``now + duration``), shared by every receiver
-        of one transmission; omitted by direct unit-test callers.
+        of one transmission; ``None`` (direct unit-test callers) means
+        "compute it here". ``None`` — not a negative float — is the
+        sentinel, so every real timestamp is representable.
         """
         if self._down:
             self.stats.down_rx_drops += 1
@@ -210,7 +372,7 @@ class Radio:
             return None  # undetectable: below the noise visibility floor
         stats = self.stats
         arrivals = self._arrivals
-        if end < 0.0:
+        if end is None:
             end = self.sim._now + duration
         free = self._free
         if free:

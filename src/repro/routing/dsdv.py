@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..net.packet import BROADCAST, Packet
 from .base import RoutingProtocol
 
@@ -88,10 +90,28 @@ class DsdvRoute:
 class _Advert:
     """Payload of a DSDV update packet: (dst, metric, seq) triples."""
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "_np")
 
     def __init__(self, entries: List[Tuple[int, float, int]]):
         self.entries = entries
+        # Column arrays for the vectorized stale-entry prefilter, built
+        # lazily by the first receiver and shared by every other radio
+        # that decodes this same broadcast.
+        self._np = None
+
+    def arrays(self):
+        """``(dst, metric+1, seq, max_dst)`` column views of ``entries``."""
+        arrs = self._np
+        if arrs is None:
+            e = self.entries
+            n = len(e)
+            dst = np.fromiter((t[0] for t in e), dtype=np.intp, count=n)
+            met1 = np.fromiter((t[1] for t in e), dtype=np.float64, count=n)
+            met1 += 1.0
+            seq = np.fromiter((t[2] for t in e), dtype=np.int64, count=n)
+            arrs = (dst, met1, seq, int(dst.max()) if n else -1)
+            self._np = arrs
+        return arrs
 
 
 class Dsdv(RoutingProtocol):
@@ -136,6 +156,23 @@ class Dsdv(RoutingProtocol):
         # plus route-object attribute loads.
         self._seq_by_dst: List[int] = []
         self._metric_by_dst: List[float] = []
+        # Numpy twins of the flat arrays (sentinel-padded to capacity)
+        # so a whole advert can be pre-rejected in one vector pass.
+        # They may lag the lists only in the harmless direction (older
+        # seq => false keep); survivors re-run the scalar prefilter.
+        self._seq_np = np.full(0, -1, dtype=np.int64)
+        self._met_np = np.full(0, INFINITY, dtype=np.float64)
+
+    def _grow_np(self, need: int) -> None:
+        """Grow the numpy prefilter twins to at least *need* slots."""
+        cap = max(need, 2 * len(self._seq_np), 64)
+        seq_np = np.full(cap, -1, dtype=np.int64)
+        met_np = np.full(cap, INFINITY, dtype=np.float64)
+        n = len(self._seq_np)
+        seq_np[:n] = self._seq_np
+        met_np[:n] = self._met_np
+        self._seq_np = seq_np
+        self._met_np = met_np
 
     # ------------------------------------------------------------ lifecycle
 
@@ -181,6 +218,13 @@ class Dsdv(RoutingProtocol):
         self._changed = changed
         self._seq_by_dst = seq_l
         self._metric_by_dst = met_l
+        if size > len(self._seq_np):
+            self._grow_np(size)
+        self._seq_np[:] = -1
+        self._met_np[:] = INFINITY
+        if size:
+            self._seq_np[:size] = seq_l
+            self._met_np[:size] = met_l
 
     def _clear_changed(self) -> None:
         table = self.table
@@ -258,7 +302,31 @@ class Dsdv(RoutingProtocol):
         n_flat = len(seq_l)
         addr = self.addr
         changed_any = False
-        for dst, metric, seq in advert.entries:
+        todo = advert.entries
+        if len(todo) >= 16:
+            # Vector pre-reject: one numpy pass drops the (dominant)
+            # stale entries before the Python loop. The column arrays
+            # are cached on the advert, so every receiver of the same
+            # broadcast shares one build. Sentinel slots (-1/inf) make
+            # missing routes keep, exactly like the scalar fall-through,
+            # and survivors still hit the scalar prefilter below — the
+            # vector pass can only shrink the loop, never change it.
+            dst_a, met1_a, seq_a, max_dst = advert.arrays()
+            seq_np = self._seq_np
+            if max_dst >= len(seq_np):
+                self._grow_np(max_dst + 1)
+                seq_np = self._seq_np
+            cs = seq_np[dst_a]
+            keep = seq_a > cs
+            eq = seq_a == cs
+            if eq.any():
+                keep |= eq & (met1_a < self._met_np[dst_a])
+            if not keep.all():
+                if not keep.any():
+                    return
+                ent = todo
+                todo = [ent[j] for j in np.nonzero(keep)[0]]
+        for dst, metric, seq in todo:
             # Flat-array pre-filter: stale entries (seq older than ours,
             # or equal seq without a better metric) are the dominant
             # outcome and never mutate state, so reject them on two
@@ -289,6 +357,10 @@ class Dsdv(RoutingProtocol):
                         n_flat = dst + 1
                     seq_l[dst] = seq
                     met_l[dst] = new_metric
+                    if dst >= len(self._seq_np):
+                        self._grow_np(dst + 1)
+                    self._seq_np[dst] = seq
+                    self._met_np[dst] = new_metric
                     changed_set.add(dst)
                     changed_any = True
                 continue
@@ -316,6 +388,10 @@ class Dsdv(RoutingProtocol):
                     n_flat = dst + 1
                 seq_l[dst] = seq
                 met_l[dst] = new_metric
+                if dst >= len(self._seq_np):
+                    self._grow_np(dst + 1)
+                self._seq_np[dst] = seq
+                self._met_np[dst] = new_metric
                 changed_set.add(dst)
                 changed_any = True
         if changed_any:
@@ -406,6 +482,9 @@ class Dsdv(RoutingProtocol):
                     if route.dst < len(self._seq_by_dst):
                         self._seq_by_dst[route.dst] = route.seq
                         self._metric_by_dst[route.dst] = INFINITY
+                    if route.dst < len(self._seq_np):
+                        self._seq_np[route.dst] = route.seq
+                        self._met_np[route.dst] = INFINITY
                     self._changed.add(route.dst)
         # Purge queued packets toward the dead neighbor: without a valid
         # route they would only burn retries.

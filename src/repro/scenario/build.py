@@ -72,6 +72,9 @@ class Scenario:
         if self.telemetry is not None:
             self.telemetry.start()
         self.sim.run(until=self.config.duration)
+        # Batched-engine stat deltas live in ledger arrays until read
+        # time; fold them into RadioStats before any consumer looks.
+        self.network.channel.flush_phy_stats()
         summary = self.collector.finish(self.network, self.config.duration)
         if self.faults is not None:
             self.faults.apply(summary, self.config.duration)
@@ -202,6 +205,9 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
     Setting ``MANETSIM_LEGACY_KINEMATICS=1`` selects the legacy per-node
     position loop and disables the channel fan-out cache — the A/B
     reference paths, which must produce bit-identical metrics.
+    ``MANETSIM_LEGACY_PHY=1`` likewise selects the per-pair arrival
+    path instead of the batched arrival engine (which is otherwise on
+    whenever the MAC is batch-safe, i.e. ``cfg.mac == "dcf"``).
     """
     import os
 
@@ -211,6 +217,7 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
     from ..routing.base import legacy_routing_enabled
 
     legacy = os.environ.get("MANETSIM_LEGACY_KINEMATICS") == "1"
+    legacy_phy = os.environ.get("MANETSIM_LEGACY_PHY") == "1"
     # Persistent sweep workers reuse one process for many runs: rewind
     # the uid sources so cached and fresh runs see identical sequences,
     # and re-arm the packet pool for this run (no cross-run sharing).
@@ -240,6 +247,7 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
         batch_kinematics=not legacy,
         fanout_cache=not legacy,
         position_quantum=cfg.position_quantum,
+        batched_phy=not legacy_phy and cfg.mac == "dcf",
     )
     if cfg.protocol == "oracle":
         for node in network.nodes:

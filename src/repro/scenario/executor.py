@@ -89,7 +89,10 @@ __all__ = [
 #: v2: fault-plan field entered the canonical config dict.
 #: v3: observability fields (profile, telemetry_interval) entered the
 #: canonical config dict.
-_CACHE_SALT = "manetsim-sweep-v3"
+#: v4: batched PHY arrival engine landed (bit-identical by design, but
+#: cached summaries predating its A/B knob are no longer trustworthy
+#: as evidence of that).
+_CACHE_SALT = "manetsim-sweep-v4"
 
 #: Default cache root, resolved against the working directory.
 _CACHE_DIR = ".manetsim-cache"

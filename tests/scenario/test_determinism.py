@@ -7,7 +7,9 @@ bit-identical metrics, and the batch ``positions(t)`` evaluation must
 match every mobility model's scalar ``position(t)``.
 
 The same discipline covers the routing control-plane fast path
-(``MANETSIM_LEGACY_ROUTING=1`` selects the reference implementations).
+(``MANETSIM_LEGACY_ROUTING=1`` selects the reference implementations)
+and the batched PHY arrival engine (``MANETSIM_LEGACY_PHY=1`` selects
+the per-pair reference reception path).
 """
 
 import pytest
@@ -98,8 +100,62 @@ def test_routing_fast_path_matches_legacy(protocol, monkeypatch):
         assert flow.delays == legacy.flows[fid].delays
 
 
+@pytest.mark.parametrize("protocol", ["aodv", "dsr", "dsdv", "cbrp", "paodv"])
+def test_batched_phy_matches_legacy(protocol, monkeypatch):
+    """Full-scenario A/B: batched arrival engine vs per-pair, same seed.
+
+    The batched engine resolves a transmission's whole fan-out in one
+    vector pass and defers interference bookkeeping to frame end; the
+    legacy path walks ``begin_arrival``/``end_arrival`` per receiver.
+    Identical physics, different evaluation order — results must be
+    bit-identical for every protocol.
+    """
+    cfg = ScenarioConfig(protocol=protocol, seed=7, **SMALL)
+
+    monkeypatch.delenv("MANETSIM_LEGACY_PHY", raising=False)
+    fast = run_scenario(cfg)
+    monkeypatch.setenv("MANETSIM_LEGACY_PHY", "1")
+    legacy = run_scenario(cfg)
+
+    # The knob actually flipped the engine.
+    assert fast.perf["phy_batch_arrivals"] > 0
+    assert fast.perf["phy_legacy_arrivals"] == 0
+    assert legacy.perf["phy_batch_arrivals"] == 0
+    assert legacy.perf["phy_legacy_arrivals"] > 0
+
+    # Bit-identical results: whole summary and every per-flow delay.
+    assert fast == legacy
+    assert set(fast.flows) == set(legacy.flows)
+    for fid, flow in fast.flows.items():
+        assert flow.delays == legacy.flows[fid].delays
+
+
 class TestFaultDeterminism:
     """Fault injection must not disturb the determinism contract."""
+
+    def test_faulted_batched_phy_matches_legacy(self, monkeypatch):
+        # The fault hook filters a fan-out *after* the geometry memo,
+        # in deterministic target order, on both engines — so a faulted
+        # run must stay bit-identical across the PHY A/B knob too.
+        from repro.faults.plan import FaultPlanConfig
+
+        cfg = ScenarioConfig(
+            seed=11,
+            faults=FaultPlanConfig(churn_rate=0.04, mean_downtime=3.0,
+                                   link_loss=0.08),
+            **SMALL,
+        )
+        monkeypatch.delenv("MANETSIM_LEGACY_PHY", raising=False)
+        fast = run_scenario(cfg)
+        monkeypatch.setenv("MANETSIM_LEGACY_PHY", "1")
+        legacy = run_scenario(cfg)
+
+        assert fast.fault_crashes > 0
+        assert fast.perf["phy_batch_arrivals"] > 0
+        assert legacy.perf["phy_batch_arrivals"] == 0
+        assert fast == legacy
+        for fid, flow in fast.flows.items():
+            assert flow.delays == legacy.flows[fid].delays
 
     def test_no_fault_config_is_bit_identical_with_zero_fault_fields(self):
         cfg = ScenarioConfig(seed=7, **SMALL)
@@ -237,6 +293,50 @@ class TestObservabilityDeterminism:
         assert config_cache_key(base) != config_cache_key(
             base.with_(telemetry_interval=2.0)
         )
+
+
+@given(
+    n_nodes=st.integers(min_value=5, max_value=14),
+    seed=st.integers(min_value=0, max_value=2**20),
+    protocol=st.sampled_from(["aodv", "dsdv", "dsr"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_batched_phy_property_random_topologies(n_nodes, seed, protocol):
+    """Property: batched ≡ legacy PHY on arbitrary small topologies.
+
+    Hypothesis drives node count, seed, and protocol; every example
+    must produce bit-identical summaries and per-flow delay lists
+    across the engine knob. ``os.environ`` is restored in a finally so
+    a failing example cannot leak the legacy knob into later tests.
+    """
+    import os
+
+    cfg = ScenarioConfig(
+        protocol=protocol,
+        n_nodes=n_nodes,
+        field_size=(500.0, 300.0),
+        duration=8.0,
+        n_connections=min(3, n_nodes - 1),
+        traffic_start_window=(0.0, 2.0),
+        seed=seed,
+    )
+    saved = os.environ.pop("MANETSIM_LEGACY_PHY", None)
+    try:
+        fast = run_scenario(cfg)
+        os.environ["MANETSIM_LEGACY_PHY"] = "1"
+        legacy = run_scenario(cfg)
+    finally:
+        if saved is None:
+            os.environ.pop("MANETSIM_LEGACY_PHY", None)
+        else:
+            os.environ["MANETSIM_LEGACY_PHY"] = saved
+
+    assert fast.perf["phy_batch_arrivals"] > 0
+    assert legacy.perf["phy_batch_arrivals"] == 0
+    assert fast == legacy
+    assert set(fast.flows) == set(legacy.flows)
+    for fid, flow in fast.flows.items():
+        assert flow.delays == legacy.flows[fid].delays
 
 
 def _build_models(kind: str, seed: int):
