@@ -44,6 +44,12 @@ SEED_BASELINE_MEANS = {
     "test_perf_phy_arrivals": 104.5e-3,
     "test_perf_phy_arrivals_legacy": 106.7e-3,
     "test_perf_xlarge_scenario": 3.3628,
+    # PR-7 benches: the baseline for both contention benches is the
+    # legacy engine's mean at the introducing commit (the pre-PR
+    # contention machine), so the arena bench's speedup_vs_seed reads
+    # directly as arena-vs-legacy.
+    "test_perf_dcf_contention": 1.2393,
+    "test_perf_dcf_contention_legacy": 1.2393,
 }
 
 #: Benchmark files whose results land in BENCH_kernel.json.
@@ -53,6 +59,7 @@ KERNEL_BENCH_FILES = (
     "test_perf_large_scenario",
     "test_perf_phy_arrivals",
     "test_perf_xlarge_scenario",
+    "test_perf_dcf_contention",
 )
 
 #: Expected cache hit ratios on the probe scenario below (deterministic:
@@ -66,6 +73,15 @@ HIT_RATIO_BASELINE = {
     # remainder fell back to the per-pair path). 1.0 on the probe
     # scenario: DCF is batch-safe, so every fan-out batches.
     "phy_batch": 1.0,
+    # Fraction of medium edges the contention arena classified as
+    # provable no-ops (never dispatched into a MAC). Decay means MACs
+    # stopped qualifying for the inline verdicts and fell back to the
+    # medium_changed chain.
+    "mac_edge_suppression": 0.9510,
+    # Fraction of DCF timers the shared wheel coalesced into an
+    # already-pushed heap sentinel (1 - sentinels/timers). Sparse on
+    # the probe field; saturated cells run ~0.7.
+    "mac_timer_coalescing": 0.1686,
 }
 
 
@@ -96,6 +112,12 @@ def _measure_hit_ratios():
         "phy_batch": ratio(
             perf["phy_batch_arrivals"], perf["phy_legacy_arrivals"]
         ),
+        "mac_edge_suppression": (
+            scenario.sim.perf.mac_edge_suppression_ratio()
+        ),
+        "mac_timer_coalescing": (
+            scenario.sim.perf.mac_timer_coalescing_ratio()
+        ),
     }
 
 
@@ -121,7 +143,8 @@ def pytest_sessionfinish(session, exitstatus):
                   "benchmarks/test_perf_routing_control.py, "
                   "benchmarks/test_perf_large_scenario.py, "
                   "benchmarks/test_perf_phy_arrivals.py, "
-                  "benchmarks/test_perf_xlarge_scenario.py",
+                  "benchmarks/test_perf_xlarge_scenario.py, "
+                  "benchmarks/test_perf_dcf_contention.py",
         "units": "seconds",
         "baseline": "pre-PR commit means on the reference machine",
         "benchmarks": {},
@@ -147,6 +170,7 @@ def pytest_sessionfinish(session, exitstatus):
     if (
         _os.environ.get("MANETSIM_LEGACY_KINEMATICS") != "1"
         and _os.environ.get("MANETSIM_LEGACY_PHY") != "1"
+        and _os.environ.get("MANETSIM_LEGACY_DCF") != "1"
     ):
         ratios = _measure_hit_ratios()
         payload["hit_ratios"] = {

@@ -23,7 +23,13 @@ allowance is needed.  Alongside the position/fan-out cache ratios this
 includes ``phy_batch``, the fraction of PHY arrivals the batched
 engine resolved (vs per-pair fallbacks): a drop means stacks silently
 stopped qualifying for batching (e.g. a MAC lost ``batch_safe``),
-which costs wall time long before the timing gate notices.
+which costs wall time long before the timing gate notices.  The DCF
+contention arena contributes two more: ``mac_edge_suppression`` (the
+fraction of medium edges proven no-ops and never dispatched into a
+MAC) and ``mac_timer_coalescing`` (the fraction of DCF timers the
+shared wheel folded into an existing same-deadline heap sentinel).
+Either decaying means the arena is silently degenerating to per-node
+dispatch.
 
 Usage::
 

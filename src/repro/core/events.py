@@ -24,6 +24,13 @@ Cancellation is idempotent and self-accounting: an event knows its
 queue, so ``Event.cancel()`` keeps ``len(queue)`` correct whether it is
 called directly or through ``Simulator.cancel``, and calling it twice
 (or on an already-fired event) is a no-op.
+
+:class:`TimerWheel` sits on top of the queue for high-churn timer
+populations (the 802.11 DCF's DIFS/backoff/NAV/SIFS timers): timers
+sharing one exact deadline are coalesced into a bucket backed by a
+single sentinel heap event, while preserving the queue's exact
+``(time, seq)`` total order — see the class docstring for the
+re-push protocol that makes the coalescing order-transparent.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ import heapq
 from sys import getrefcount
 from typing import Any, Callable, Optional
 
-__all__ = ["Event", "EventQueue"]
+__all__ = ["Event", "EventQueue", "TimerWheel", "WheelTimer"]
 
 #: Compaction triggers when dead entries exceed both this floor and the
 #: live count (i.e. more than half the heap is garbage).
@@ -145,6 +152,42 @@ class EventQueue:
         self._live += 1
         return ev
 
+    def alloc_seq(self) -> int:
+        """Claim the next sequence number without pushing an event.
+
+        :class:`TimerWheel` assigns each coalesced timer a seq from the
+        same counter heap events draw from, so a wheel timer and a heap
+        event scheduled at the same instant keep the exact relative
+        order they would have had as two heap events.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def push_at_seq(
+        self, time: float, fn: Callable[..., Any], args: tuple, seq: int
+    ) -> Event:
+        """Push an event carrying a pre-allocated *seq* (see :meth:`alloc_seq`).
+
+        The caller guarantees *seq* is unique (claimed from this queue's
+        counter); the global ``_seq`` is not advanced.
+        """
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev._cancelled = False
+            ev._fired = False
+        else:
+            ev = Event(time, seq, fn, args)
+        ev._queue = self
+        heapq.heappush(self._heap, (time, seq, ev))
+        self._live += 1
+        return ev
+
     # ------------------------------------------------------------- internals
 
     def _on_cancel(self) -> None:
@@ -230,6 +273,22 @@ class EventQueue:
             self._recycle(ev)
         return heap[0][0] if heap else None
 
+    def peek_entry(self) -> Optional[tuple]:
+        """``(time, seq)`` of the next live event, or ``None`` if empty.
+
+        Used by :class:`TimerWheel` to detect heap events that must fire
+        between two coalesced timers of the same bucket.
+        """
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            ev = heapq.heappop(heap)[2]
+            self._dead -= 1
+            self._recycle(ev)
+        if not heap:
+            return None
+        entry = heap[0]
+        return (entry[0], entry[1])
+
     def clear(self) -> None:
         """Drop every pending event."""
         for entry in self._heap:
@@ -237,3 +296,176 @@ class EventQueue:
         self._heap.clear()
         self._live = 0
         self._dead = 0
+
+
+class WheelTimer:
+    """A timer coalesced into a :class:`TimerWheel` bucket.
+
+    Duck-types :class:`Event` for the handle operations MAC code uses
+    (``cancel()``, ``cancelled``, ``fired``) so ``Simulator.cancel`` and
+    ``self._timer = ...`` bookkeeping work unchanged, but never enters
+    the heap itself: cancellation is a pure flag flip with no queue
+    accounting and no compaction pressure.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled", "_fired")
+
+    def __init__(self) -> None:
+        self.time = 0.0
+        self.seq = 0
+        self.fn: Optional[Callable[..., Any]] = None
+        self.args: tuple = ()
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Flag this timer for discard; idempotent, safe after firing."""
+        if not self._fired:
+            self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+
+class TimerWheel:
+    """Deadline-bucketed timer store feeding one sentinel per bucket.
+
+    High-churn timer populations (every DCF contention round schedules
+    and mostly cancels DIFS/backoff/NAV timers across the whole
+    collision domain) pay two heap costs per timer: the O(log n) push
+    and the lazy-cancel garbage it leaves behind. The wheel replaces
+    both with a dict keyed by the **exact** float deadline: timers for
+    the same instant append to one list, and only the bucket's first
+    timer pushes a heap event (the sentinel) that later drains the
+    bucket in order.
+
+    Buckets are keyed by exact ``float`` deadlines — no rounding is
+    applied to firing times, so coalescing never perturbs simulation
+    timestamps. Coalescing still happens constantly because 802.11
+    deadlines are slot-quantized by construction: independent nodes
+    computing ``now + DIFS`` or ``frame_end + nav`` at the same instant
+    produce bit-equal doubles.
+
+    Order-exactness protocol (the wheel is a pure optimization; firing
+    order must be indistinguishable from per-timer heap events):
+
+    * each timer claims a seq from the shared :class:`EventQueue`
+      counter at schedule time, exactly as a heap push would;
+    * the sentinel is pushed via :meth:`EventQueue.push_at_seq` carrying
+      the *first* timer's seq, so it sorts exactly where that timer
+      would have;
+    * at fire time, before dispatching each bucket entry, the heap head
+      is peeked: if a foreign event shares the deadline with a smaller
+      seq, the sentinel is re-pushed at the entry's seq and dispatch
+      resumes after the foreign event runs.
+
+    Contract: deadlines must be strictly in the future (every DCF wheel
+    timer is ≥ SIFS = 10 µs away, which double precision keeps distinct
+    from ``now`` at any simulated timescale). Scheduling *at* the
+    current instant while that instant's bucket is mid-dispatch would
+    append to a bucket that is already being drained.
+    """
+
+    __slots__ = ("_queue", "_buckets", "_pool", "perf")
+
+    def __init__(self, queue: EventQueue) -> None:
+        self._queue = queue
+        #: deadline -> list of WheelTimer in schedule (= seq) order.
+        self._buckets: dict = {}
+        self._pool: list = []
+        #: Optional shared PerfCounters (set by the owning arena).
+        self.perf = None
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) timers across all buckets."""
+        return sum(
+            sum(1 for t in bucket if not t._cancelled)
+            for bucket in self._buckets.values()
+        )
+
+    def schedule(
+        self, time: float, fn: Callable[..., Any], args: tuple = ()
+    ) -> WheelTimer:
+        """Register ``fn(*args)`` at absolute *time*; returns the handle."""
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        pool = self._pool
+        if pool:
+            timer = pool.pop()
+            timer._cancelled = False
+            timer._fired = False
+        else:
+            timer = WheelTimer()
+        timer.time = time
+        timer.seq = seq
+        timer.fn = fn
+        timer.args = args
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [timer]
+            queue.push_at_seq(time, self._fire, (time,), seq)
+            perf = self.perf
+            if perf is not None:
+                perf.mac_timer_events += 1
+                perf.mac_wheel_sentinels += 1
+        else:
+            bucket.append(timer)
+            if self.perf is not None:
+                self.perf.mac_timer_events += 1
+        return timer
+
+    def _recycle(self, timer: WheelTimer) -> None:
+        """Pool *timer* unless a MAC still holds the handle (refcount).
+
+        Baseline is 4, one more than the queue's: the bucket list entry
+        is still alive in ``_fire``'s frame, plus the caller's local,
+        this parameter, and getrefcount's own argument.
+        """
+        if getrefcount(timer) == 4 and len(self._pool) < 256:
+            timer.fn = None
+            timer.args = ()
+            self._pool.append(timer)
+
+    def _fire(self, time: float) -> None:
+        """Sentinel callback: drain the bucket for *time* in seq order."""
+        bucket = self._buckets.pop(time)
+        queue = self._queue
+        heap = queue._heap
+        i = 0
+        n = len(bucket)
+        while i < n:
+            timer = bucket[i]
+            if timer._cancelled:
+                i += 1
+                self._recycle(timer)
+                continue
+            # Cheap pre-check before the purging peek: the sim already
+            # drained everything ordered before this sentinel, so the
+            # heap head's time is >= ours and a plain equality test
+            # rules out foreign same-instant events in the common case.
+            # If compaction swaps the heap list mid-drain, the cached
+            # list is a superset of the live one (with the same lower
+            # bound), so the test can only false-positive — and the
+            # peek below re-reads the live queue.
+            if heap and heap[0][0] == time:
+                head = queue.peek_entry()
+                if head is not None and head[0] == time and head[1] < timer.seq:
+                    # A foreign heap event shares this instant and was
+                    # scheduled before this timer: yield to it, then
+                    # resume via a fresh sentinel sorted at this
+                    # timer's own seq.
+                    self._buckets[time] = bucket[i:]
+                    queue.push_at_seq(time, self._fire, (time,), timer.seq)
+                    if self.perf is not None:
+                        self.perf.mac_wheel_sentinels += 1
+                    return
+            i += 1
+            timer._fired = True
+            timer.fn(*timer.args)
+            self._recycle(timer)

@@ -79,6 +79,14 @@ register_counter("phy_batch_arrivals",
                  "receiver arrivals resolved by the batched PHY engine")
 register_counter("phy_legacy_arrivals",
                  "receiver arrivals resolved by the per-pair legacy path")
+register_counter("mac_timer_events",
+                 "DCF timers routed through the contention arena's wheel")
+register_counter("mac_wheel_sentinels",
+                 "heap sentinel events the timer wheel actually pushed")
+register_counter("mac_edges_dispatched",
+                 "medium-edge MAC transitions the arena had to dispatch")
+register_counter("mac_edges_suppressed",
+                 "medium-edge MAC callbacks proven no-ops and skipped")
 
 
 class PerfCounters:
@@ -111,6 +119,20 @@ class PerfCounters:
         batch = getattr(self, "phy_batch_arrivals", 0)
         total = batch + getattr(self, "phy_legacy_arrivals", 0)
         return batch / total if total else 0.0
+
+    def mac_timer_coalescing_ratio(self) -> float:
+        """Fraction of wheel timers that piggybacked on an existing
+        sentinel instead of pushing their own heap event."""
+        timers = getattr(self, "mac_timer_events", 0)
+        sentinels = getattr(self, "mac_wheel_sentinels", 0)
+        return (timers - sentinels) / timers if timers else 0.0
+
+    def mac_edge_suppression_ratio(self) -> float:
+        """Fraction of medium-edge MAC notifications the arena proved
+        to be no-ops and skipped entirely."""
+        suppressed = getattr(self, "mac_edges_suppressed", 0)
+        total = suppressed + getattr(self, "mac_edges_dispatched", 0)
+        return suppressed / total if total else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)

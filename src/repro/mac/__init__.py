@@ -1,5 +1,7 @@
-"""MAC layer: 802.11 DCF, ideal MAC, frames, interface queue."""
+"""MAC layer: 802.11 DCF, ideal MAC, frames, interface queue, and the
+shared contention arena the batched engine drives."""
 
+from .arena import ContentionArena
 from .base import MacLayer, MacStats, UpperLayer
 from .dcf import DcfMac
 from .frames import Dot11, Frame, FrameType
@@ -10,6 +12,7 @@ __all__ = [
     "MacLayer",
     "MacStats",
     "UpperLayer",
+    "ContentionArena",
     "DcfMac",
     "Dot11",
     "Frame",

@@ -47,6 +47,7 @@ class MacStats:
         "drops_retry_limit",
         "drops_ifq_full",
         "duplicates_suppressed",
+        "responses_abandoned",
     )
 
     def __init__(self) -> None:
@@ -59,6 +60,11 @@ class MacStats:
         self.drops_retry_limit = 0
         self.drops_ifq_full = 0
         self.duplicates_suppressed = 0
+        #: SIFS responses (third-party CTS/ACK) silently dropped because
+        #: the radio was already transmitting when the timer fired — the
+        #: peer sees a timeout, not a collision, so without this count
+        #: saturated collision domains are indistinguishable from loss.
+        self.responses_abandoned = 0
 
     @property
     def control_frames_sent(self) -> int:

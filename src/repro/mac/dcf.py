@@ -72,6 +72,10 @@ class DcfMac(MacLayer):
     #: timer-driven, never synchronous from a radio callback.
     batch_safe = True
 
+    #: Eligible for the shared contention arena (vectorized medium-edge
+    #: resolution + coalesced timer wheel; see ``repro.mac.arena``).
+    arena_safe = True
+
     def __init__(
         self,
         sim: Simulator,
@@ -107,6 +111,36 @@ class DcfMac(MacLayer):
         self._responses: set[int] = set()  # uids of CTS/ACK/DATA responses
         self._pending_data: Optional[Frame] = None  # DATA awaiting CTS grant
         self._seen: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        #: Shared contention arena (None on the legacy per-node path).
+        #: When attached, the scalar waiting-state fields above remain
+        #: authoritative for scalar code, and every mutation is mirrored
+        #: into the arena's per-node arrays so its vectorized edge
+        #: passes see current state.
+        self._arena = None
+        self._nid = radio.node_id
+
+    def attach_arena(self, arena) -> None:
+        """Join the shared contention arena, seeding its array row."""
+        self._arena = arena
+        arena.state[self._nid] = self._state
+        arena.nav[self._nid] = self._nav
+        arena.nav_wake[self._nid] = self._nav_wake
+        arena.backoff_slots[self._nid] = self._backoff_slots
+        arena.backoff_start[self._nid] = self._backoff_start
+
+    def _sched(self, delay: float, fn, *args):
+        """Schedule a contention-plane timer (DIFS/backoff/NAV/SIFS).
+
+        Routed through the arena's coalescing timer wheel when attached
+        — same ``(time, seq)`` ordering as a heap event, one sentinel
+        per distinct deadline — and through the plain heap otherwise.
+        Exchange timeouts (CTS/ACK) stay on the heap: they are per-node
+        and rarely share deadlines.
+        """
+        arena = self._arena
+        if arena is not None:
+            return arena.wheel.schedule(self.sim._now + delay, fn, args)
+        return self.sim.schedule(delay, fn, *args)
 
     # ---------------------------------------------------------------- sizes
 
@@ -135,7 +169,7 @@ class DcfMac(MacLayer):
         self._current = entry
         self._retries = 0
         self._cw = Dot11.CW_MIN
-        self._backoff_slots = int(self.rng.integers(0, self._cw + 1))
+        self._set_backoff(int(self.rng.integers(0, self._cw + 1)))
         self._begin_contention()
 
     def _set_state(self, state: int) -> None:
@@ -147,10 +181,20 @@ class DcfMac(MacLayer):
         gate and this mirror encode the same condition).
         """
         self._state = state
+        arena = self._arena
+        if arena is not None:
+            arena.state[self._nid] = state
         waiting = _WAIT_MEDIUM <= state <= _BACKOFF
         if waiting != self._waiting:
             self._waiting = waiting
             self.radio.set_mac_waiting(waiting)
+
+    def _set_backoff(self, slots: int) -> None:
+        """Set the pending backoff draw, mirroring the arena row."""
+        self._backoff_slots = slots
+        arena = self._arena
+        if arena is not None:
+            arena.backoff_slots[self._nid] = slots
 
     def _medium_busy(self) -> bool:
         # carrier_busy() already covers our own transmission (_tx_end);
@@ -169,7 +213,47 @@ class DcfMac(MacLayer):
             self._ensure_nav_wake()
             return
         self._set_state(_DIFS)
-        self._timer = self.sim.schedule(Dot11.DIFS, self._difs_done)
+        self._timer = self._sched(Dot11.DIFS, self._difs_done)
+
+    def _resume_contention(self) -> None:
+        """Arena RESUME verdict: the medium is provably idle.
+
+        The arena's end-of-frame pass already established ``not busy``
+        for this node (ledger count 0, not transmitting, NAV expired —
+        all frozen for bystanders during the resolve pass), so this is
+        exactly :meth:`_begin_contention`'s idle branch without
+        re-deriving busy-ness per node. Only called with an arena
+        attached; inlined stores because resume storms (every parked
+        node, every reservation end) are a saturated cell's hot loop.
+        _WAIT_MEDIUM -> _DIFS stays inside the waiting band, so the
+        radio wants_medium flag is untouched.
+        """
+        arena = self._arena
+        self._state = _DIFS
+        arena.state[self._nid] = _DIFS
+        self._timer = arena.wheel.schedule(
+            self.sim._now + Dot11.DIFS, self._difs_done
+        )
+
+    def _arena_freeze_difs(self) -> None:
+        """Arena busy-edge verdict for ``_DIFS`` (medium just went busy)."""
+        self.sim.cancel(self._timer)
+        self._timer = None
+        self._set_state(_WAIT_MEDIUM)
+        self._ensure_nav_wake()
+
+    def _arena_freeze_backoff(self, consumed: int) -> None:
+        """Arena busy-edge verdict for ``_BACKOFF``: freeze and credit.
+
+        *consumed* is ``floor(elapsed / SLOT)`` computed by the arena as
+        an array op — bit-equal to the scalar credit in
+        :meth:`medium_changed`.
+        """
+        self.sim.cancel(self._timer)
+        self._timer = None
+        self._set_backoff(max(0, self._backoff_slots - consumed))
+        self._set_state(_WAIT_MEDIUM)
+        self._ensure_nav_wake()
 
     def _ensure_nav_wake(self) -> None:
         """Schedule a wake-up at NAV expiry while we wait on the medium.
@@ -184,7 +268,10 @@ class DcfMac(MacLayer):
         now = self.sim.now
         if now < nav and self._nav_wake < nav:
             self._nav_wake = nav
-            self.sim.schedule(nav - now, self._nav_wake_fired)
+            arena = self._arena
+            if arena is not None:
+                arena.nav_wake[self._nid] = nav
+            self._sched(nav - now, self._nav_wake_fired)
 
     def _nav_wake_fired(self) -> None:
         # ``now + (nav - now)`` can round one ulp below ``nav``, leaving
@@ -192,6 +279,9 @@ class DcfMac(MacLayer):
         # dedup marker first lets medium_changed re-arm a wake for the
         # residual ulp (the fixpoint converges in one step).
         self._nav_wake = 0.0
+        arena = self._arena
+        if arena is not None:
+            arena.nav_wake[self._nid] = 0.0
         self.medium_changed()
 
     def medium_changed(self) -> None:
@@ -216,7 +306,40 @@ class DcfMac(MacLayer):
             self._timer = None
             elapsed = self.sim.now - self._backoff_start
             consumed = int(math.floor(elapsed / Dot11.SLOT + 1e-9))
-            self._backoff_slots = max(0, self._backoff_slots - consumed)
+            self._set_backoff(max(0, self._backoff_slots - consumed))
+            self._set_state(_WAIT_MEDIUM)
+            self._ensure_nav_wake()
+
+    def medium_edge(self, phys_busy: bool) -> None:
+        """Arena fallback dispatch: :meth:`medium_changed` with the
+        ledger half of busy-ness precomputed.
+
+        *phys_busy* covers the overlap count and own-transmission terms
+        of :meth:`_medium_busy` (frozen for the duration of a resolve
+        pass); the NAV term is re-read from the live scalar because a
+        delivery earlier in the same pass may have raised it. Must stay
+        in lockstep with :meth:`medium_changed`'s branch logic.
+        """
+        state = self._state
+        if state < _WAIT_MEDIUM or state > _BACKOFF:
+            return
+        busy = phys_busy or self.sim._now < self._nav
+        if state == _WAIT_MEDIUM:
+            if not busy:
+                self._begin_contention()
+            else:
+                self._ensure_nav_wake()
+        elif state == _DIFS and busy:
+            self.sim.cancel(self._timer)
+            self._timer = None
+            self._set_state(_WAIT_MEDIUM)
+            self._ensure_nav_wake()
+        elif state == _BACKOFF and busy:
+            self.sim.cancel(self._timer)
+            self._timer = None
+            elapsed = self.sim.now - self._backoff_start
+            consumed = int(math.floor(elapsed / Dot11.SLOT + 1e-9))
+            self._set_backoff(max(0, self._backoff_slots - consumed))
             self._set_state(_WAIT_MEDIUM)
             self._ensure_nav_wake()
 
@@ -225,15 +348,27 @@ class DcfMac(MacLayer):
         if self._backoff_slots == 0:
             self._transmit_current()
             return
-        self._set_state(_BACKOFF)
-        self._backoff_start = self.sim.now
-        self._timer = self.sim.schedule(
-            self._backoff_slots * Dot11.SLOT, self._backoff_done
-        )
+        # _DIFS -> _BACKOFF stays inside the waiting band (what
+        # _set_state would conclude); inlined because the whole cell's
+        # DIFS expirations drain through one wheel bucket back-to-back.
+        now = self.sim._now
+        self._state = _BACKOFF
+        self._backoff_start = now
+        arena = self._arena
+        if arena is not None:
+            arena.state[self._nid] = _BACKOFF
+            arena.backoff_start[self._nid] = now
+            self._timer = arena.wheel.schedule(
+                now + self._backoff_slots * Dot11.SLOT, self._backoff_done
+            )
+        else:
+            self._timer = self.sim.schedule(
+                self._backoff_slots * Dot11.SLOT, self._backoff_done
+            )
 
     def _backoff_done(self) -> None:
         self._timer = None
-        self._backoff_slots = 0
+        self._set_backoff(0)
         self._transmit_current()
 
     # ------------------------------------------------------------- transmit
@@ -244,7 +379,7 @@ class DcfMac(MacLayer):
         if self.radio.is_transmitting:
             # A SIFS response frame grabbed the radio; re-contend when
             # it completes (medium_changed will fire).
-            self._backoff_slots = max(1, self._backoff_slots)
+            self._set_backoff(max(1, self._backoff_slots))
             self._set_state(_WAIT_MEDIUM)
             return
         wants_rts = (
@@ -353,7 +488,7 @@ class DcfMac(MacLayer):
 
     def _schedule_response(self, frame: Frame, own_exchange: bool = False) -> None:
         """Send *frame* one SIFS from now, bypassing contention."""
-        self.sim.schedule(Dot11.SIFS, self._fire_response, frame, own_exchange)
+        self._sched(Dot11.SIFS, self._fire_response, frame, own_exchange)
 
     def _fire_response(self, frame: Frame, own_exchange: bool) -> None:
         if self.radio.is_transmitting:
@@ -363,6 +498,11 @@ class DcfMac(MacLayer):
             if own_exchange:
                 self._tx_frame = None
                 self._retry()
+            else:
+                # Silent CTS/ACK loss: the peer will time out and retry.
+                # Counted so saturated collision domains can be told
+                # apart from propagation loss when diagnosing delay.
+                self.stats.responses_abandoned += 1
             return
         if not own_exchange:
             if frame.ftype == FrameType.CTS:
@@ -400,7 +540,7 @@ class DcfMac(MacLayer):
                 self._service()
             return
         self._cw = min(2 * self._cw + 1, Dot11.CW_MAX)
-        self._backoff_slots = int(self.rng.integers(0, self._cw + 1))
+        self._set_backoff(int(self.rng.integers(0, self._cw + 1)))
         self._begin_contention()
 
     # ----------------------------------------------------------- completion
@@ -422,6 +562,9 @@ class DcfMac(MacLayer):
     def _set_nav(self, until: float) -> None:
         if until > self._nav:
             self._nav = until
+            arena = self._arena
+            if arena is not None:
+                arena.nav[self._nid] = until
             # The immediate notification lets _DIFS/_BACKOFF freeze; the
             # expiry wake-up is scheduled lazily (see _ensure_nav_wake)
             # so reservations that nobody waits on cost no events.

@@ -61,6 +61,7 @@ def build_network(
     fanout_cache: bool = True,
     position_quantum: float = 0.0,
     batched_phy: bool = False,
+    dcf_arena: bool = False,
 ) -> Network:
     """Assemble the full stack for ``len(mobility_models)`` nodes.
 
@@ -75,6 +76,12 @@ def build_network(
     defaults to off so direct callers (unit tests that monkeypatch
     ``Radio.begin_arrival``) keep the per-pair reference path. The
     scenario builder opts in unless ``MANETSIM_LEGACY_PHY=1``.
+
+    ``dcf_arena`` additionally requests the shared DCF contention arena
+    (:meth:`~repro.phy.channel.Channel.enable_arena`: coalescing timer
+    wheel + vectorized medium-edge resolution); honored only on top of
+    an active batched engine when every MAC is ``arena_safe``. The
+    scenario builder opts in unless ``MANETSIM_LEGACY_DCF=1``.
     """
     propagation = propagation if propagation is not None else TwoRayGround()
     params = radio_params if radio_params is not None else WAVELAN_914MHZ
@@ -99,5 +106,6 @@ def build_network(
         routing.node = node
         nodes.append(node)
     if batched_phy:
-        channel.enable_batched()
+        if channel.enable_batched() and dcf_arena:
+            channel.enable_arena()
     return Network(sim, nodes, channel, mobility)

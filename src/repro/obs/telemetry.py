@@ -15,7 +15,7 @@ perf-counter *deltas* accumulated since the previous sample)::
      "ifq_depth_total": 14, "ifq_depth_max": 6, "sendbuf_depth_total": 2,
      "route_entries_total": 118, "cache_entries_total": 40,
      "neighbor_entries_total": 96, "inflight_arrivals": 3,
-     "nodes_faulted": 1, "energy_j": 151.2,
+     "mac_responses_abandoned": 2, "nodes_faulted": 1, "energy_j": 151.2,
      "perf": {"fanout_cache_hits": 904, ...}}
 """
 
@@ -49,6 +49,7 @@ TELEMETRY_SCHEMA: Dict[str, type] = {
     "cache_entries_total": int,
     "neighbor_entries_total": int,
     "inflight_arrivals": int,
+    "mac_responses_abandoned": int,
     "nodes_faulted": int,
     "energy_j": float,
     "perf": dict,
@@ -151,9 +152,11 @@ class TelemetryRecorder:
         caches = 0
         neighbors = 0
         inflight = 0
+        abandoned = 0
         faulted = 0
         for node in nodes:
             depth = node.mac.queue_depth()
+            abandoned += node.mac.stats.responses_abandoned
             ifq_total += depth
             if depth > ifq_max:
                 ifq_max = depth
@@ -200,6 +203,9 @@ class TelemetryRecorder:
             "cache_entries_total": caches,
             "neighbor_entries_total": neighbors,
             "inflight_arrivals": inflight,
+            # Cumulative third-party SIFS responses the MAC dropped
+            # because the medium turned busy before the turnaround.
+            "mac_responses_abandoned": abandoned,
             "nodes_faulted": faulted,
             "energy_j": energy,
             "perf": deltas,

@@ -174,6 +174,8 @@ class Channel:
         #: monkeypatch ``begin_arrival`` etc.) keep the per-pair path.
         self._batched = False
         self._ledger: Optional[ArrivalLedger] = None
+        #: Shared DCF contention arena (see :meth:`enable_arena`).
+        self._arena = None
         #: Every MAC supports ``overhear_nav`` (virtual carrier sense
         #: applied by the batch instead of a full delivery walk).
         self._overhear_ok = False
@@ -245,6 +247,32 @@ class Channel:
             radio.mac is None or getattr(radio.mac, "batch_overhear", False)
             for radio in self.radios
         )
+        return True
+
+    def enable_arena(self) -> bool:
+        """Attach the shared DCF contention arena (see repro.mac.arena).
+
+        Requires the batched arrival engine (the arena's busy masks
+        read the shared ledger) and that every MAC opted in via
+        ``arena_safe`` (the arena mirrors DCF-specific waiting state).
+        Carrier-edge resolution then runs through the arena's vector
+        passes and DCF contention timers through its coalescing wheel —
+        bit-identical outcomes, fewer Python dispatches.
+
+        Returns whether the arena is now active.
+        """
+        if not self._batched:
+            return False
+        for radio in self.radios:
+            mac = radio.mac
+            if mac is None or not getattr(mac, "arena_safe", False):
+                return False
+        from ..mac.arena import ContentionArena
+
+        arena = ContentionArena(self.sim, self._ledger, self.radios)
+        for radio in self.radios:
+            radio.mac.attach_arena(arena)
+        self._arena = arena
         return True
 
     def flush_phy_stats(self) -> None:
@@ -494,6 +522,10 @@ class Channel:
                 led.active.append(batch)
                 self.sim.schedule(duration, self._end_transmission_batched,
                                   src, frame, batch)
+                arena = self._arena
+                if arena is not None:
+                    arena.busy_edges(ids)
+                    return
                 w = led.wants_medium[ids]
                 if w.any():
                     for nid in ids[w].tolist():
@@ -557,6 +589,12 @@ class Channel:
         # Notify idle->busy edges last (ledger state is final), in
         # receiver order, and only where the MAC is parked in a
         # contention state (medium_changed provably no-ops otherwise).
+        # With the arena attached the whole pass — waiting filter, busy
+        # verdicts, backoff credits — is one vectorized resolve.
+        arena = self._arena
+        if arena is not None:
+            arena.busy_edges(ids[was_idle])
+            return
         for nid in ids[was_idle & led.wants_medium[ids]].tolist():
             mac = radios[nid].mac
             if mac is not None:
@@ -580,11 +618,6 @@ class Channel:
                 oa = other.added
                 led.strongest[oa] = np.maximum(led.strongest[oa],
                                                other.added_pw)
-            counts_l = led.counts[added].tolist()
-        else:
-            counts_l = None
-        txing_l = led.txing[added].tolist()
-        wants_l = led.wants_medium[added].tolist()
         radios = self.radios
         win_l = batch.win_list
         pw_l = batch.pw_list
@@ -614,6 +647,158 @@ class Channel:
         # their last overlapping arrival and their MAC is waiting —
         # exactly the calls the per-pair end_arrival path makes, minus
         # provable no-ops.
+        arena = self._arena
+        if arena is not None:
+            # Arena mode: freeze/credit/resume verdicts are applied
+            # inside this same ordered loop (so heap/wheel insertion
+            # order — and every (time, seq) tie-break downstream — is
+            # untouched). Large fan-outs precompute the verdicts in
+            # one vector pass over the arena table; small ones derive
+            # each verdict inline from the authoritative MAC scalars
+            # (see ContentionArena.prepare_end_edges for the shared
+            # derivation). Lazy per-receiver evaluation is exact:
+            # deliveries only mutate their own node, the ledger half
+            # of busy-ness (counts/txing, gathered up front) is frozen
+            # for the pass, and a winner's own overhear_nav never
+            # changes its waiting-ness — while medium_edge re-reads
+            # the live scalars it depends on.
+            if len(batch.added_list) > arena.scalar_cutoff:
+                verdicts, phys_l, waiting_l = arena.prepare_end_edges(
+                    added, batch.added_list
+                )
+            else:
+                verdicts = None
+                txing_l = led.txing[added].tolist()
+                # With nothing else in flight every post-decrement
+                # count is provably zero — skip the gather.
+                counts_l = led.counts[added].tolist() if active else None
+            now = self.sim._now
+            a_nav = arena.nav
+            n_disp = 0
+            n_supp = 0
+            for k, nid in enumerate(batch.added_list):
+                r = radios[nid]
+                if win_l[k] and r._rx_frame is frame:
+                    r._rx_frame = None
+                    led.rx_power[nid] = 0.0
+                    mac = r.mac
+                    if verdicts is None:
+                        phys = txing_l[k] or (
+                            counts_l is not None and counts_l[k] > 0
+                        )
+                    else:
+                        phys = phys_l[k]
+                    if not r._rx_corrupt:
+                        r.stats.frames_received += 1
+                        if bulk and nid != frame_dst and not (
+                            data_frame and mac.promiscuous
+                        ):
+                            # Inlined overhear: _set_nav's raise +
+                            # self-notify chain plus the trailing
+                            # medium_edge collapse, for a decoder, to
+                            # "raise NAV, ensure the wake covers it" —
+                            # a raised NAV makes busy-ness true
+                            # outright, and once the wake covers nav
+                            # the second notification provably no-ops.
+                            # A decoder can't sit in _DIFS/_BACKOFF at
+                            # its own frame end (its arrival kept the
+                            # medium busy, so it froze on the busy
+                            # edge); the defensive fallback keeps the
+                            # exact legacy chain if it ever happens.
+                            s = mac._state
+                            if nav_t is not None and nav_t > mac._nav:
+                                if s == 1:  # _WAIT_MEDIUM
+                                    mac._nav = nav_t
+                                    a_nav[nid] = nav_t
+                                    if mac._nav_wake < nav_t:
+                                        mac._ensure_nav_wake()
+                                    n_disp += 1
+                                elif s == 0 or s > 3:  # not waiting
+                                    mac._nav = nav_t
+                                    a_nav[nid] = nav_t
+                                    n_supp += 1
+                                else:  # impossible; exact fallback
+                                    mac.overhear_nav(nav_t)
+                                    n_disp += 1
+                                    mac.medium_edge(phys)
+                            elif s == 1:
+                                # medium_edge, s==_WAIT_MEDIUM branch:
+                                # busy -> _ensure_nav_wake (a no-op
+                                # when the wake already covers nav),
+                                # idle -> _begin_contention.
+                                n_disp += 1
+                                nav = mac._nav
+                                if phys or now < nav:
+                                    if now < nav and mac._nav_wake < nav:
+                                        mac._ensure_nav_wake()
+                                else:
+                                    mac._begin_contention()
+                            elif s == 2 or s == 3:
+                                n_disp += 1
+                                mac.medium_edge(phys)
+                            else:
+                                n_supp += 1
+                            continue
+                        if prof is not None:
+                            prof.begin("mac.deliver")
+                            try:
+                                mac.on_frame_received(frame, pw_l[k])
+                            finally:
+                                prof.end()
+                        else:
+                            mac.on_frame_received(frame, pw_l[k])
+                    n_disp += 1
+                    mac.medium_edge(phys)
+                elif verdicts is None:
+                    # Inline scalar verdict: the same case analysis as
+                    # prepare_end_edges, against live (= pre-pass)
+                    # bystander state.
+                    mac = r.mac
+                    s = mac._state
+                    if (
+                        not 1 <= s <= 3
+                        or txing_l[k]
+                        or (counts_l is not None and counts_l[k] > 0)
+                    ):
+                        n_supp += 1
+                    else:
+                        nav = mac._nav
+                        if nav > now:
+                            if mac._nav_wake < nav:
+                                n_disp += 1
+                                if s == 1:
+                                    mac._ensure_nav_wake()
+                                else:
+                                    mac.medium_edge(False)
+                            else:
+                                n_supp += 1
+                        elif s == 1:
+                            n_disp += 1
+                            mac._resume_contention()
+                        else:
+                            n_supp += 1
+                else:
+                    v = verdicts[k]
+                    if v == 0:  # SUPPRESS: proven medium_changed no-op
+                        n_supp += 1
+                    else:
+                        n_disp += 1
+                        mac = r.mac
+                        if v == 2:  # RESUME
+                            mac._resume_contention()
+                        elif v == 1:  # ARM_WAKE
+                            mac._ensure_nav_wake()
+                        else:  # DISPATCH (defensive remainder)
+                            mac.medium_edge(False)
+            perf = self.perf
+            if perf is not None:
+                perf.mac_edges_dispatched += n_disp
+                perf.mac_edges_suppressed += n_supp
+            src._transmit_done(frame)
+            return
+        counts_l = led.counts[added].tolist() if active else None
+        txing_l = led.txing[added].tolist()
+        wants_l = led.wants_medium[added].tolist()
         for k, nid in enumerate(batch.added_list):
             r = radios[nid]
             if win_l[k] and r._rx_frame is frame:

@@ -208,6 +208,9 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
     ``MANETSIM_LEGACY_PHY=1`` likewise selects the per-pair arrival
     path instead of the batched arrival engine (which is otherwise on
     whenever the MAC is batch-safe, i.e. ``cfg.mac == "dcf"``).
+    ``MANETSIM_LEGACY_DCF=1`` keeps per-node DCF contention (heap
+    timers, per-MAC ``medium_changed`` callbacks) instead of the shared
+    contention arena that otherwise rides on the batched engine.
     """
     import os
 
@@ -218,6 +221,7 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
 
     legacy = os.environ.get("MANETSIM_LEGACY_KINEMATICS") == "1"
     legacy_phy = os.environ.get("MANETSIM_LEGACY_PHY") == "1"
+    legacy_dcf = os.environ.get("MANETSIM_LEGACY_DCF") == "1"
     # Persistent sweep workers reuse one process for many runs: rewind
     # the uid sources so cached and fresh runs see identical sequences,
     # and re-arm the packet pool for this run (no cross-run sharing).
@@ -248,6 +252,7 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
         fanout_cache=not legacy,
         position_quantum=cfg.position_quantum,
         batched_phy=not legacy_phy and cfg.mac == "dcf",
+        dcf_arena=not legacy_dcf,
     )
     if cfg.protocol == "oracle":
         for node in network.nodes:

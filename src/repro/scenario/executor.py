@@ -92,7 +92,9 @@ __all__ = [
 #: v4: batched PHY arrival engine landed (bit-identical by design, but
 #: cached summaries predating its A/B knob are no longer trustworthy
 #: as evidence of that).
-_CACHE_SALT = "manetsim-sweep-v4"
+#: v5: DCF contention arena landed (shared timer wheel + batched
+#: medium-edge resolution), same reasoning as v4.
+_CACHE_SALT = "manetsim-sweep-v5"
 
 #: Default cache root, resolved against the working directory.
 _CACHE_DIR = ".manetsim-cache"

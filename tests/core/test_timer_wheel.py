@@ -1,0 +1,131 @@
+"""Order-exactness of the coalescing timer wheel.
+
+The wheel is a pure optimization: a mixed population of plain heap
+events and wheel timers must fire in exactly the order the heap alone
+would produce — global (time, seq) order, where every schedule call
+(heap or wheel) claims the next seq from the shared queue counter.
+The property test drives random interleavings, deadline collisions,
+and cancellations through both representations and compares traces.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import EventQueue, TimerWheel
+from repro.core.simulator import Simulator
+
+
+def _drain(sim):
+    """Run the simulator to exhaustion, ignoring the horizon."""
+    sim.run(until=None)
+
+
+# ----------------------------------------------------------------- unit
+
+
+def test_single_timer_fires_at_deadline():
+    sim = Simulator(seed=0)
+    wheel = TimerWheel(sim._queue)
+    fired = []
+    wheel.schedule(1.5, lambda: fired.append(sim.now))
+    _drain(sim)
+    assert fired == [1.5]
+
+
+def test_same_deadline_timers_share_one_sentinel():
+    sim = Simulator(seed=0)
+    wheel = TimerWheel(sim._queue)
+    order = []
+    for i in range(5):
+        wheel.schedule(2.0, order.append, (i,))
+    # One sentinel on the heap despite five timers.
+    assert len(sim._queue) == 1
+    assert len(wheel) == 5
+    _drain(sim)
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_timer_never_fires():
+    sim = Simulator(seed=0)
+    wheel = TimerWheel(sim._queue)
+    order = []
+    keep = wheel.schedule(1.0, order.append, ("keep",))
+    drop = wheel.schedule(1.0, order.append, ("drop",))
+    drop.cancel()
+    assert not keep.cancelled and drop.cancelled
+    _drain(sim)
+    assert order == ["keep"]
+    assert keep.fired and not drop.fired
+
+
+def test_foreign_event_interleaves_between_bucket_timers():
+    """A heap event scheduled between two same-deadline timers must
+    fire between them: the sentinel yields and re-pushes itself."""
+    sim = Simulator(seed=0)
+    wheel = TimerWheel(sim._queue)
+    order = []
+    wheel.schedule(3.0, order.append, ("t0",))
+    sim._queue.push(3.0, order.append, ("heap",))
+    wheel.schedule(3.0, order.append, ("t1",))
+    _drain(sim)
+    assert order == ["t0", "heap", "t1"]
+
+
+def test_callback_scheduling_into_future_bucket():
+    """Timers scheduled from inside a firing timer land in later
+    buckets and still fire in global order."""
+    sim = Simulator(seed=0)
+    wheel = TimerWheel(sim._queue)
+    order = []
+
+    def first():
+        order.append("first")
+        wheel.schedule(2.0, lambda: order.append("nested"))
+
+    wheel.schedule(1.0, first)
+    wheel.schedule(2.0, lambda: order.append("sibling"))
+    _drain(sim)
+    assert order == ["first", "sibling", "nested"]
+
+
+# ------------------------------------------------------------- property
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.booleans(),                       # via wheel?
+            st.integers(min_value=1, max_value=6),   # deadline bucket
+            st.booleans(),                       # cancel it?
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_wheel_trace_matches_heap_trace(ops):
+    """Property: wheel+heap mix ≡ all-heap, for any interleaving.
+
+    Each op schedules callback *i* at a small quantized deadline
+    (collisions are the point), via the wheel or the heap, and may
+    cancel it immediately. The observable trace — (time, label) in
+    firing order — must be identical to scheduling everything on the
+    heap alone.
+    """
+
+    def run(use_wheel: bool):
+        sim = Simulator(seed=0)
+        wheel = TimerWheel(sim._queue)
+        trace = []
+        for i, (via_wheel, slot, cancelled) in enumerate(ops):
+            t = slot * 0.25
+            fn = lambda i=i: trace.append((sim.now, i))
+            if use_wheel and via_wheel:
+                handle = wheel.schedule(t, fn)
+            else:
+                handle = sim._queue.push(t, fn)
+            if cancelled:
+                handle.cancel()
+        _drain(sim)
+        return trace
+
+    assert run(True) == run(False)

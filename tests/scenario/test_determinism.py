@@ -130,8 +130,89 @@ def test_batched_phy_matches_legacy(protocol, monkeypatch):
         assert flow.delays == legacy.flows[fid].delays
 
 
+@pytest.mark.parametrize("protocol", ["aodv", "dsr", "dsdv", "cbrp", "paodv"])
+def test_dcf_arena_matches_legacy(protocol, monkeypatch):
+    """Full-scenario A/B: contention arena vs per-node DCF, same seed.
+
+    The arena moves DCF's waiting-state machine onto shared arrays, a
+    coalescing timer wheel, and batched medium-edge verdicts; the
+    legacy path (``MANETSIM_LEGACY_DCF=1``) keeps per-node timers and
+    ``medium_changed`` callbacks. Identical protocol, different
+    dispatch machinery — results must be bit-identical everywhere.
+    """
+    cfg = ScenarioConfig(protocol=protocol, seed=7, **SMALL)
+
+    # The arena rides the batched PHY engine, so both sides of this
+    # A/B must run it even on the all-legacy CI leg.
+    monkeypatch.delenv("MANETSIM_LEGACY_PHY", raising=False)
+    monkeypatch.delenv("MANETSIM_LEGACY_DCF", raising=False)
+    fast = run_scenario(cfg)
+    monkeypatch.setenv("MANETSIM_LEGACY_DCF", "1")
+    legacy = run_scenario(cfg)
+
+    # The knob actually flipped the engine: only the arena routes DCF
+    # timers through the shared wheel.
+    assert fast.perf["mac_timer_events"] > 0
+    assert legacy.perf["mac_timer_events"] == 0
+
+    # Bit-identical results: whole summary and every per-flow delay.
+    assert fast == legacy
+    assert set(fast.flows) == set(legacy.flows)
+    for fid, flow in fast.flows.items():
+        assert flow.delays == legacy.flows[fid].delays
+
+
+def test_dcf_arena_vector_paths_match_legacy(monkeypatch):
+    """The arena's NumPy paths (normally taken only above the scalar
+    cutoff) must be bit-identical too: force the cutoff to zero so a
+    10-node run exercises the vectorized busy-edge and end-of-frame
+    passes on every fan-out."""
+    from repro.mac import arena as arena_mod
+    from repro.mac.arena import ContentionArena
+
+    cfg = ScenarioConfig(protocol="aodv", seed=7, **SMALL)
+
+    monkeypatch.delenv("MANETSIM_LEGACY_PHY", raising=False)
+    monkeypatch.setenv("MANETSIM_LEGACY_DCF", "1")
+    legacy = run_scenario(cfg)
+    monkeypatch.delenv("MANETSIM_LEGACY_DCF", raising=False)
+    monkeypatch.setattr(arena_mod, "_SCALAR_CUTOFF", 0)
+    monkeypatch.setattr(ContentionArena, "scalar_cutoff", 0)
+    vector = run_scenario(cfg)
+
+    assert vector.perf["mac_timer_events"] > 0
+    assert vector == legacy
+    for fid, flow in vector.flows.items():
+        assert flow.delays == legacy.flows[fid].delays
+
+
 class TestFaultDeterminism:
     """Fault injection must not disturb the determinism contract."""
+
+    def test_faulted_dcf_arena_matches_legacy(self, monkeypatch):
+        # Node crashes tear radios out of the air mid-reservation and
+        # the fault hook filters fan-outs — the arena's wheel timers
+        # and shared arrays must shrug all of it off bit-identically.
+        from repro.faults.plan import FaultPlanConfig
+
+        cfg = ScenarioConfig(
+            seed=11,
+            faults=FaultPlanConfig(churn_rate=0.04, mean_downtime=3.0,
+                                   link_loss=0.08),
+            **SMALL,
+        )
+        monkeypatch.delenv("MANETSIM_LEGACY_PHY", raising=False)
+        monkeypatch.delenv("MANETSIM_LEGACY_DCF", raising=False)
+        fast = run_scenario(cfg)
+        monkeypatch.setenv("MANETSIM_LEGACY_DCF", "1")
+        legacy = run_scenario(cfg)
+
+        assert fast.fault_crashes > 0
+        assert fast.perf["mac_timer_events"] > 0
+        assert legacy.perf["mac_timer_events"] == 0
+        assert fast == legacy
+        for fid, flow in fast.flows.items():
+            assert flow.delays == legacy.flows[fid].delays
 
     def test_faulted_batched_phy_matches_legacy(self, monkeypatch):
         # The fault hook filters a fan-out *after* the geometry memo,
@@ -333,6 +414,53 @@ def test_batched_phy_property_random_topologies(n_nodes, seed, protocol):
 
     assert fast.perf["phy_batch_arrivals"] > 0
     assert legacy.perf["phy_batch_arrivals"] == 0
+    assert fast == legacy
+    assert set(fast.flows) == set(legacy.flows)
+    for fid, flow in fast.flows.items():
+        assert flow.delays == legacy.flows[fid].delays
+
+
+@given(
+    n_nodes=st.integers(min_value=5, max_value=14),
+    seed=st.integers(min_value=0, max_value=2**20),
+    protocol=st.sampled_from(["aodv", "dsdv", "dsr"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_dcf_arena_property_random_topologies(n_nodes, seed, protocol):
+    """Property: arena ≡ legacy DCF on arbitrary small topologies.
+
+    Hypothesis drives node count, seed, and protocol; every example
+    must produce bit-identical summaries and per-flow delay lists
+    across the contention-engine knob. ``os.environ`` is restored in a
+    finally so a failing example cannot leak the knob into later tests.
+    """
+    import os
+
+    cfg = ScenarioConfig(
+        protocol=protocol,
+        n_nodes=n_nodes,
+        field_size=(500.0, 300.0),
+        duration=8.0,
+        n_connections=min(3, n_nodes - 1),
+        traffic_start_window=(0.0, 2.0),
+        seed=seed,
+    )
+    saved = os.environ.pop("MANETSIM_LEGACY_DCF", None)
+    saved_phy = os.environ.pop("MANETSIM_LEGACY_PHY", None)
+    try:
+        fast = run_scenario(cfg)
+        os.environ["MANETSIM_LEGACY_DCF"] = "1"
+        legacy = run_scenario(cfg)
+    finally:
+        if saved is None:
+            os.environ.pop("MANETSIM_LEGACY_DCF", None)
+        else:
+            os.environ["MANETSIM_LEGACY_DCF"] = saved
+        if saved_phy is not None:
+            os.environ["MANETSIM_LEGACY_PHY"] = saved_phy
+
+    assert fast.perf["mac_timer_events"] > 0
+    assert legacy.perf["mac_timer_events"] == 0
     assert fast == legacy
     assert set(fast.flows) == set(legacy.flows)
     for fid, flow in fast.flows.items():
