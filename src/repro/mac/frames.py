@@ -51,14 +51,17 @@ class Dot11:
 _frame_uid = itertools.count()
 
 
-def reset_frame_uids() -> None:
-    """Rewind the frame uid source (scenario start; see packet module).
+def reset_frame_uids(base: int = 0) -> None:
+    """Rewind the frame uid source to *base* (scenario start; see packet
+    module).
 
     The sweep executor reuses worker processes, so without a rewind a
-    cached-vs-fresh pair of runs would disagree on frame uids.
+    cached-vs-fresh pair of runs would disagree on frame uids. The
+    sharded engine passes a per-shard *base* so frame uids stay unique
+    across shards.
     """
     global _frame_uid
-    _frame_uid = itertools.count()
+    _frame_uid = itertools.count(base)
 
 
 class Frame:

@@ -39,9 +39,12 @@ class _BatchTargets:
     """
 
     __slots__ = ("ids", "powers", "dec", "dec_idx", "dec_pw", "ids_list",
-                 "dec_ids_list", "dec_list", "pw_list")
+                 "dec_ids_list", "dec_list", "pw_list", "remote_shards")
 
     def __init__(self, ids, powers, rx_threshold):
+        #: Shard ids owning receivers masked out of this fan-out
+        #: (empty outside sharded mode — see Channel.configure_shard).
+        self.remote_shards = ()
         self.ids = ids
         self.powers = powers
         dec = powers >= rx_threshold
@@ -189,6 +192,13 @@ class Channel:
         #: memo stays exact. None (the default) leaves the fan-out path
         #: byte-for-byte identical to the fault-free engine.
         self.fault_hook = None
+        #: Sharded-engine state (see :meth:`configure_shard`): ownership
+        #: mask, node->shard owner table, and the border-transmission
+        #: outbox. All None outside sharded mode — the fan-out paths
+        #: stay untouched.
+        self._shard_owned = None
+        self._shard_owner = None
+        self._shard_outbox = None
 
     # ------------------------------------------------------------- topology
 
@@ -274,6 +284,60 @@ class Channel:
             radio.mac.attach_arena(arena)
         self._arena = arena
         return True
+
+    def configure_shard(self, owned, owner, outbox) -> None:
+        """Restrict delivery to shard-*owned* receivers (sharded engine).
+
+        *owned* is a bool mask over node ids, *owner* the node->shard
+        table, *outbox* the list border transmissions are appended to
+        as ``(time, src_id, frame, duration, remote_shards)``. After
+        this, every fan-out memo splits its target set: owned receivers
+        are delivered locally through the normal batched paths, and the
+        set of foreign shards owning the remainder is recorded so the
+        shard driver can forward the transmission (the owning shard
+        recomputes the identical geometry and delivers via
+        :meth:`inject_remote`). Requires the batched engine — the
+        legacy per-pair path has no mask hook.
+        """
+        if not self._batched:
+            raise ConfigurationError(
+                "sharded delivery requires the batched arrival engine"
+            )
+        self._shard_owned = owned
+        self._shard_owner = owner
+        self._shard_outbox = outbox
+        self._memo.clear()
+
+    def inject_remote(self, src_id: int, frame: Frame, duration: float) -> None:
+        """Deliver a foreign shard's transmission to local receivers.
+
+        Runs the identical memoized geometry for *src_id* (positions
+        are pure functions of time, so every shard computes the same
+        fan-out) and feeds the locally-owned slice through the batched
+        delivery path. The transmitting radio lives in another shard:
+        channel transmit counters and the sender's ``_transmit_done``
+        belong there, so neither happens here.
+        """
+        q = self._quantum
+        now = self.sim._now
+        tq = now if q <= 0.0 else int(now / q) * q
+        perf = self.perf
+        if self._fanout_cache:
+            hit = self._memo.get(src_id)
+            if hit is not None and hit[0] == tq:
+                targets = hit[1]
+                if perf is not None:
+                    perf.fanout_cache_hits += 1
+            else:
+                targets = self._build_targets_batched(src_id, tq)
+                self._memo[src_id] = (tq, targets)
+                if perf is not None:
+                    perf.fanout_cache_misses += 1
+        else:
+            targets = self._build_targets_batched(src_id, tq)
+            if perf is not None:
+                perf.fanout_cache_misses += 1
+        self._fan_out_batched(None, frame, duration, targets)
 
     def flush_phy_stats(self) -> None:
         """Fold batched-mode stat deltas into per-radio RadioStats.
@@ -372,7 +436,23 @@ class Channel:
         ids = np.asarray(eligible, dtype=np.intp)
         pw = np.asarray(powers, dtype=np.float64)
         keep = ids != src_id
-        return _BatchTargets(ids[keep], pw[keep], self.params.rx_threshold)
+        owned = self._shard_owned
+        if owned is None:
+            return _BatchTargets(ids[keep], pw[keep], self.params.rx_threshold)
+        # Sharded: deliver locally only to owned receivers; remember
+        # which shards own the rest so the driver can forward border
+        # transmissions. The split happens at memo build time, so a
+        # static field pays it once per (src, epoch).
+        ids = ids[keep]
+        pw = pw[keep]
+        local = owned[ids]
+        bt = _BatchTargets(ids[local], pw[local], self.params.rx_threshold)
+        foreign = ids[~local]
+        if foreign.shape[0]:
+            bt.remote_shards = tuple(
+                sorted(set(self._shard_owner[foreign].tolist()))
+            )
+        return bt
 
     def _compute_fanout(self, src_id: int, tq: float):
         """Eligible receiver ids and their rx powers at sample time *tq*.
@@ -490,6 +570,14 @@ class Channel:
         led = self._ledger
         radios = self.radios
         now = self.sim._now
+        out = self._shard_outbox
+        if out is not None and src is not None and mb.remote_shards:
+            # Border transmission: foreign receivers were masked out of
+            # the memo; hand the frame to the shard driver for the
+            # owning shards to deliver. Injections (src None) never
+            # re-forward — the originating shard already reached every
+            # foreign shard directly.
+            out.append((now, src.node_id, frame, duration, mb.remote_shards))
         hook = self.fault_hook
         keep = None
         if hook is not None:
@@ -502,10 +590,17 @@ class Channel:
             self.stats.deliveries_attempted += n
             if perf is not None:
                 perf.phy_batch_arrivals += n
-            if not led.active and led.n_txing == 1 and led.n_down == 0:
+            if (
+                not led.active
+                and led.n_txing == (1 if src is not None else 0)
+                and led.n_down == 0
+            ):
                 # Quiet channel — the common case at the paper's
                 # densities: nothing else is on the air (the only
-                # transmitter is the source itself), nobody is down,
+                # transmitter is the source itself — which, for an
+                # injected remote transmission, lives in another shard
+                # and so contributes nothing to the local count),
+                # nobody is down,
                 # so every receiver is idle and every reception-rule
                 # mask collapses: all arrivals are added, and exactly
                 # the above-sensitivity ones decode.
@@ -794,7 +889,8 @@ class Channel:
             if perf is not None:
                 perf.mac_edges_dispatched += n_disp
                 perf.mac_edges_suppressed += n_supp
-            src._transmit_done(frame)
+            if src is not None:  # injected remote tx: sender is foreign
+                src._transmit_done(frame)
             return
         counts_l = led.counts[added].tolist() if active else None
         txing_l = led.txing[added].tolist()
@@ -836,4 +932,5 @@ class Channel:
                 mac = r.mac
                 if mac is not None:
                     mac.medium_changed()
-        src._transmit_done(frame)
+        if src is not None:  # injected remote tx: sender is foreign
+            src._transmit_done(frame)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..core.errors import ConfigurationError
 from ..core.simulator import Simulator
 from ..faults.manager import FaultManager
 from ..mac.dcf import DcfMac
@@ -94,12 +95,42 @@ def _make_propagation(cfg: ScenarioConfig):
     return UnitDisk(cfg.radio_range)
 
 
-def _make_mobility(cfg: ScenarioConfig, sim: Simulator):
+def _cluster_point(cfg: ScenarioConfig, field: Field, i: int, x: float, y: float):
+    """Remap a uniform draw into node *i*'s cluster strip.
+
+    Pure function of the draw: the sharded engine recomputes placement
+    from the same per-node streams, so the mapping must not consume
+    extra randomness. Strips run along the longer field axis; node ids
+    are assigned to clusters in contiguous blocks.
+    """
+    k = cfg.n_clusters
+    gap = cfg.cluster_gap
+    w, h = field.width, field.height
+    span = w if w >= h else h
+    strip = (span - (k - 1) * gap) / k
+    if strip <= 0:
+        raise ConfigurationError(
+            f"{k} clusters with {gap} m gaps do not fit in a "
+            f"{span} m field axis"
+        )
+    c = i * k // cfg.n_nodes
+    if w >= h:
+        return c * (strip + gap) + (x / w) * strip, y
+    return x, c * (strip + gap) + (y / h) * strip
+
+
+def _make_mobility(cfg: ScenarioConfig, streams: "RngStreams"):
+    """Per-node mobility models from named RNG streams.
+
+    *streams* is normally ``sim.rng``; the sharded engine passes a
+    fresh :class:`~repro.core.rng.RngStreams` with the same root seed
+    to recover node positions without building a simulator.
+    """
     field = Field(*cfg.field_size)
     if cfg.mobility == "rpgm":
         return make_groups(
             field,
-            sim.rng.stream,
+            streams.stream,
             cfg.n_nodes,
             n_groups=min(cfg.rpgm_groups, cfg.n_nodes),
             max_speed=cfg.max_speed,
@@ -108,7 +139,7 @@ def _make_mobility(cfg: ScenarioConfig, sim: Simulator):
         )
     models = []
     for i in range(cfg.n_nodes):
-        rng = sim.rng.stream(f"mobility.{i}")
+        rng = streams.stream(f"mobility.{i}")
         if cfg.mobility == "waypoint":
             m = RandomWaypoint(
                 field,
@@ -132,7 +163,10 @@ def _make_mobility(cfg: ScenarioConfig, sim: Simulator):
         elif cfg.mobility == "manhattan":
             m = ManhattanGrid(field, rng, max_speed=cfg.max_speed, min_speed=cfg.min_speed)
         else:  # static
-            m = StaticPosition(*field.random_point(rng))
+            x, y = field.random_point(rng)
+            if cfg.placement == "clusters":
+                x, y = _cluster_point(cfg, field, i, x, y)
+            m = StaticPosition(x, y)
         models.append(m)
     return models
 
@@ -199,8 +233,17 @@ def _mac_factory(cfg: ScenarioConfig):
     )
 
 
-def build_scenario(cfg: ScenarioConfig) -> Scenario:
+def build_scenario(
+    cfg: ScenarioConfig,
+    uid_base: int = 0,
+    record_times: bool = False,
+) -> Scenario:
     """Wire up every layer for *cfg* (deterministic in ``cfg.run_seed``).
+
+    ``uid_base`` offsets the packet/frame uid counters (the sharded
+    engine gives each shard a disjoint block); ``record_times``
+    additionally records per-delivery arrival timestamps so shard
+    partials can be merged in single-loop delivery order.
 
     Setting ``MANETSIM_LEGACY_KINEMATICS=1`` selects the legacy per-node
     position loop and disables the channel fan-out cache — the A/B
@@ -225,8 +268,8 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
     # Persistent sweep workers reuse one process for many runs: rewind
     # the uid sources so cached and fresh runs see identical sequences,
     # and re-arm the packet pool for this run (no cross-run sharing).
-    reset_packet_uids()
-    reset_frame_uids()
+    reset_packet_uids(uid_base)
+    reset_frame_uids(uid_base)
     PACKET_POOL.clear()
     PACKET_POOL.enabled = not legacy_routing_enabled()
     tracer = Tracer(cfg.trace) if cfg.trace else None
@@ -240,7 +283,7 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
     PACKET_POOL.perf = sim.perf
     propagation = _make_propagation(cfg)
     params = WAVELAN_914MHZ
-    models = _make_mobility(cfg, sim)
+    models = _make_mobility(cfg, sim.rng)
     network = build_network(
         sim,
         models,
@@ -258,7 +301,12 @@ def build_scenario(cfg: ScenarioConfig) -> Scenario:
         for node in network.nodes:
             node.routing.mobility = network.mobility
 
-    collector = MetricsCollector(cfg.protocol, measure_from=cfg.measure_from)
+    collector = MetricsCollector(
+        cfg.protocol,
+        measure_from=cfg.measure_from,
+        record_times=record_times,
+        stream=os.environ.get("MANETSIM_STREAM_STATS") == "1",
+    )
     collector.attach(network)
 
     connections = generate_connections(

@@ -44,6 +44,17 @@ class ScenarioConfig:
     rpgm_groups: int = 4
     rpgm_radius: float = 100.0
 
+    #: Static-placement layout: "uniform" scatters nodes over the whole
+    #: field; "clusters" remaps the same per-node draws into
+    #: ``n_clusters`` equal strips along the longer field axis separated
+    #: by ``cluster_gap`` metres of empty space. With a gap wider than
+    #: the carrier-sense range the clusters are radio-disjoint — the
+    #: sharded engine detects that and free-runs one shard per island.
+    #: Only meaningful for ``mobility == "static"``.
+    placement: str = "uniform"
+    n_clusters: int = 4
+    cluster_gap: float = 700.0
+
     # --- traffic -----------------------------------------------------------
     n_connections: int = 10
     rate: float = 4.0  # packets per second per source
@@ -130,6 +141,20 @@ class ScenarioConfig:
             raise ConfigurationError("pause_time must be >= 0")
         if self.n_connections < 1:
             raise ConfigurationError("need at least one connection")
+        if self.placement not in ("uniform", "clusters"):
+            raise ConfigurationError(
+                f"placement must be 'uniform' or 'clusters', "
+                f"got {self.placement!r}"
+            )
+        if self.placement == "clusters":
+            if self.mobility != "static":
+                raise ConfigurationError(
+                    "placement='clusters' requires mobility='static'"
+                )
+            if self.n_clusters < 1:
+                raise ConfigurationError("n_clusters must be >= 1")
+            if self.cluster_gap < 0:
+                raise ConfigurationError("cluster_gap must be >= 0")
         if self.dsr_cache not in ("path", "link"):
             raise ConfigurationError(
                 f"dsr_cache must be 'path' or 'link', got {self.dsr_cache!r}"

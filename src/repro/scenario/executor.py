@@ -94,7 +94,10 @@ __all__ = [
 #: as evidence of that).
 #: v5: DCF contention arena landed (shared timer wheel + batched
 #: medium-edge resolution), same reasoning as v4.
-_CACHE_SALT = "manetsim-sweep-v5"
+#: v6: sharded engine + placement fields (placement/n_clusters/
+#: cluster_gap) entered ScenarioConfig, and the metrics collector was
+#: rebuilt around shard partials/streaming aggregation.
+_CACHE_SALT = "manetsim-sweep-v6"
 
 #: Default cache root, resolved against the working directory.
 _CACHE_DIR = ".manetsim-cache"

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List
+import os
+from typing import List, Optional
 
 from ..stats.aggregate import aggregate_summaries
 from ..stats.metrics import MetricsSummary
@@ -12,8 +13,28 @@ from .config import ScenarioConfig
 __all__ = ["run_scenario", "run_replications"]
 
 
-def run_scenario(cfg: ScenarioConfig) -> MetricsSummary:
-    """Build and execute one simulation; returns its metrics."""
+def run_scenario(
+    cfg: ScenarioConfig, shards: Optional[int] = None
+) -> MetricsSummary:
+    """Build and execute one simulation; returns its metrics.
+
+    *shards* (default: the ``MANETSIM_SHARDS`` env var, then 1) > 1
+    routes through the spatially sharded engine; results are
+    bit-identical for any shard count. Configs the sharded engine
+    cannot split (non-static mobility, faults, tracing, ...) fall back
+    to the single loop silently — set ``MANETSIM_SHARD_STRICT=1`` to
+    raise instead (the CI determinism leg does).
+    """
+    if shards is None:
+        shards = int(os.environ.get("MANETSIM_SHARDS", "1") or "1")
+    if shards > 1:
+        from ..shard import ShardUnsupported, run_sharded
+
+        try:
+            return run_sharded(cfg, shards)
+        except ShardUnsupported:
+            if os.environ.get("MANETSIM_SHARD_STRICT") == "1":
+                raise
     return build_scenario(cfg).run()
 
 

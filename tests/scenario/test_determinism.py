@@ -513,3 +513,120 @@ def test_batch_positions_match_scalar(kind, ts):
             x, y = model.position(t)
             assert abs(pos[i, 0] - x) <= 1e-12
             assert abs(pos[i, 1] - y) <= 1e-12
+
+
+# --------------------------------------------------------------- sharding
+#
+# The spatially sharded engine (repro.shard) must be invisible in the
+# results: for island partitions (radio-disjoint clusters), any shard
+# count produces a bit-identical MetricsSummary, including per-flow
+# delay lists. These pins cover all five of the paper's protocols.
+
+#: Paper-density clustered field: 4 radio-disjoint islands.
+_SHARD_DENSITY = 50 / (1500.0 * 300.0)
+
+
+def _island_cfg(protocol, n_nodes, seed, n_clusters=4, **over):
+    strip = n_nodes / n_clusters / _SHARD_DENSITY / 300.0
+    width = n_clusters * strip + (n_clusters - 1) * 700.0
+    merged = dict(
+        n_nodes=n_nodes,
+        field_size=(width, 300.0),
+        mobility="static",
+        placement="clusters",
+        n_clusters=n_clusters,
+        cluster_gap=700.0,
+        duration=15.0,
+        n_connections=max(4, n_nodes // 10),
+        traffic_start_window=(0.0, 4.0),
+        seed=seed,
+    )
+    merged.update(over)
+    return ScenarioConfig(protocol=protocol, **merged)
+
+
+@pytest.mark.parametrize(
+    "protocol", ["dsdv", "dsr", "aodv", "paodv", "cbrp"]
+)
+def test_sharded_matches_single_loop(protocol, monkeypatch):
+    """4-shard island run ≡ single loop, all five paper protocols."""
+    from repro.shard import run_sharded
+
+    monkeypatch.setenv("MANETSIM_SHARD_STRICT", "1")
+    cfg = _island_cfg(protocol, n_nodes=120, seed=13)
+    single = run_scenario(cfg, shards=1)
+    sharded = run_sharded(cfg, 4, exec_mode="inline")
+    assert sharded == single
+    assert set(sharded.flows) == set(single.flows)
+    for fid, flow in sharded.flows.items():
+        assert flow.delays == single.flows[fid].delays
+
+
+def test_sharded_matches_single_loop_10k(monkeypatch):
+    """The tentpole pin: a 10 000-node static field, 4 shards, bit-
+    identical to the single event loop (process workers, merged
+    records, per-shard uid blocks all exercised at full scale).
+
+    One protocol always runs; MANETSIM_FULL=1 extends the pin to all
+    five (DSDV's table broadcasts make the full matrix minutes-long).
+    """
+    import os
+
+    from repro.shard import run_sharded
+
+    monkeypatch.setenv("MANETSIM_SHARD_STRICT", "1")
+    protocols = (
+        ["dsdv", "dsr", "aodv", "paodv", "cbrp"]
+        if os.environ.get("MANETSIM_FULL")
+        else ["aodv"]
+    )
+    for protocol in protocols:
+        cfg = _island_cfg(
+            protocol, n_nodes=10_000, seed=11,
+            duration=2.0, n_connections=40,
+            traffic_start_window=(0.0, 1.0),
+        )
+        single = run_scenario(cfg, shards=1)
+        sharded = run_scenario(cfg, shards=4)
+        assert sharded == single, protocol
+        for fid, flow in sharded.flows.items():
+            assert flow.delays == single.flows[fid].delays
+
+
+@given(
+    n_nodes=st.integers(min_value=24, max_value=48),
+    seed=st.integers(min_value=0, max_value=2**20),
+    protocol=st.sampled_from(["dsdv", "dsr", "aodv", "paodv", "cbrp"]),
+    n_shards=st.sampled_from([2, 4]),
+)
+@settings(max_examples=8, deadline=None)
+def test_sharded_property_random_topologies(n_nodes, seed, protocol, n_shards):
+    """Property: shard-count invariance on random clustered topologies.
+
+    Hypothesis drives node count, seed, protocol, and shard count;
+    every example must match the single loop bit-for-bit. The env knob
+    is restored in a finally so a failing example cannot leak strict
+    mode into later tests.
+    """
+    import os
+
+    from repro.shard import run_sharded
+
+    cfg = _island_cfg(
+        protocol, n_nodes=n_nodes, seed=seed,
+        duration=8.0, n_connections=3, traffic_start_window=(0.0, 2.0),
+    )
+    saved = os.environ.get("MANETSIM_SHARD_STRICT")
+    os.environ["MANETSIM_SHARD_STRICT"] = "1"
+    try:
+        single = run_scenario(cfg, shards=1)
+        sharded = run_sharded(cfg, n_shards, exec_mode="inline")
+    finally:
+        if saved is None:
+            os.environ.pop("MANETSIM_SHARD_STRICT", None)
+        else:
+            os.environ["MANETSIM_SHARD_STRICT"] = saved
+
+    assert sharded == single
+    for fid, flow in sharded.flows.items():
+        assert flow.delays == single.flows[fid].delays

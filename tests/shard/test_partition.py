@@ -1,0 +1,135 @@
+"""Partitioner invariants: balance, border bands, island detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.shard.partition import make_plan
+
+
+def _uniform(n, w, h, seed):
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [rng.uniform(0, w, size=n), rng.uniform(0, h, size=n)]
+    )
+
+
+def _clustered(n, k, strip, gap, h, seed):
+    """k strips of strip metres separated by gap metres of empty space."""
+    rng = np.random.default_rng(seed)
+    per = n // k
+    xs, ys = [], []
+    for c in range(k):
+        x0 = c * (strip + gap)
+        xs.append(rng.uniform(x0, x0 + strip, size=per))
+        ys.append(rng.uniform(0, h, size=per))
+    return np.column_stack([np.concatenate(xs), np.concatenate(ys)])
+
+
+class TestValidation:
+    def test_too_few_nodes(self):
+        with pytest.raises(ConfigurationError, match="cannot fill"):
+            make_plan(_uniform(5, 1000, 300, 0), 3, 250.0, (1000, 300))
+
+    def test_bad_reach(self):
+        with pytest.raises(ConfigurationError, match="reach"):
+            make_plan(_uniform(20, 1000, 300, 0), 2, 0.0, (1000, 300))
+
+    def test_bad_shard_count(self):
+        with pytest.raises(ConfigurationError, match="n_shards"):
+            make_plan(_uniform(20, 1000, 300, 0), 0, 250.0, (1000, 300))
+
+
+class TestPartitionInvariants:
+    def test_ownership_is_a_partition(self):
+        pos = _uniform(200, 3000, 300, 1)
+        plan = make_plan(pos, 4, 250.0, (3000, 300))
+        all_ids = np.sort(np.concatenate(plan.owned))
+        assert np.array_equal(all_ids, np.arange(200))
+        for s, ids in enumerate(plan.owned):
+            assert (plan.owner[ids] == s).all()
+
+    def test_cells_balanced(self):
+        """Equal-count cuts keep every shard within one node of fair."""
+        pos = _uniform(400, 3000, 300, 2)
+        plan = make_plan(pos, 4, 250.0, (3000, 300))
+        assert not plan.island  # uniform fill leaves no radio gap
+        assert max(plan.sizes()) - min(plan.sizes()) <= 1
+
+    def test_axis_follows_longer_side(self):
+        pos = _uniform(50, 300, 3000, 3)
+        plan = make_plan(pos, 2, 250.0, (300, 3000))
+        assert plan.axis == 1
+
+    def test_border_band_covers_lookahead_radius(self):
+        """Every node within reach of a cut is in that shard's band —
+        the band is exactly the set that can appear in a cross-shard
+        fan-out, so it must be at least the lookahead radius wide."""
+        pos = _uniform(300, 4000, 300, 4)
+        reach = 550.0
+        plan = make_plan(pos, 3, reach, (4000, 300))
+        coord = pos[:, plan.axis]
+        for s in range(plan.n_shards):
+            adjacent = []
+            if s > 0:
+                adjacent.append(plan.cuts[s - 1])
+            if s < plan.n_shards - 1:
+                adjacent.append(plan.cuts[s])
+            expect = [
+                i for i in plan.owned[s]
+                if any(abs(coord[i] - c) <= reach for c in adjacent)
+            ]
+            assert sorted(plan.border[s].tolist()) == sorted(expect)
+
+    def test_deterministic(self):
+        pos = _uniform(300, 4000, 300, 5)
+        a = make_plan(pos, 4, 250.0, (4000, 300))
+        b = make_plan(pos, 4, 250.0, (4000, 300))
+        assert a.cuts == b.cuts
+        assert np.array_equal(a.owner, b.owner)
+        assert a.min_cross_gap == b.min_cross_gap
+
+
+class TestIslandDetection:
+    def test_gapped_field_is_island(self):
+        pos = _clustered(200, 4, strip=1000, gap=700, h=300, seed=6)
+        plan = make_plan(pos, 4, 550.0, (4 * 1000 + 3 * 700, 300))
+        assert plan.island
+        assert plan.min_cross_gap > 550.0
+        # Cuts landed in the gaps: every cluster maps to one shard.
+        assert plan.sizes() == (50, 50, 50, 50)
+
+    def test_island_survives_fewer_shards_than_gaps(self):
+        pos = _clustered(200, 4, strip=1000, gap=700, h=300, seed=7)
+        plan = make_plan(pos, 2, 550.0, (4 * 1000 + 3 * 700, 300))
+        assert plan.island
+        assert plan.sizes() == (100, 100)
+
+    def test_dense_field_is_not_island(self):
+        pos = _uniform(200, 1500, 300, 8)
+        plan = make_plan(pos, 2, 550.0, (1500, 300))
+        assert not plan.island
+        assert plan.min_cross_gap <= 550.0
+
+    @pytest.mark.parametrize("gap,reach", [(600, 500.0), (400, 500.0)])
+    def test_island_decision_matches_brute_force(self, gap, reach):
+        """The island verdict agrees with the all-pairs minimum.
+
+        ``min_cross_gap`` only scans the cut bands, but every pair
+        within *reach* of each other straddles a cut with both members
+        in its band, so the verdict (is any cross pair within reach?)
+        must match the brute-force check exactly.
+        """
+        pos = _clustered(60, 2, strip=800, gap=gap, h=300, seed=9)
+        plan = make_plan(pos, 2, reach, (800 * 2 + gap, 300))
+        d = np.sqrt(
+            ((pos[plan.owned[0]][:, None, :]
+              - pos[plan.owned[1]][None, :, :]) ** 2).sum(axis=2)
+        ).min()
+        assert plan.min_cross_gap >= float(d)  # band min is a subset min
+        assert plan.island == (float(d) > reach)
+
+    def test_gap_narrower_than_reach_stays_coupled(self):
+        pos = _clustered(100, 2, strip=800, gap=300, h=300, seed=10)
+        plan = make_plan(pos, 2, 550.0, (800 * 2 + 300, 300))
+        assert not plan.island

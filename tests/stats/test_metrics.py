@@ -179,3 +179,136 @@ class TestWarmupCut:
             ScenarioConfig(duration=10.0, measure_from=10.0)
         with _pytest.raises(ConfigurationError):
             ScenarioConfig(measure_from=-1.0)
+
+
+class TestStreamingMode:
+    """Bounded-memory collection (MANETSIM_STREAM_STATS=1)."""
+
+    def test_recent_set_dedups_and_bounds(self):
+        from repro.stats.metrics import _RecentSet
+
+        rs = _RecentSet(capacity=4)
+        for uid in (1, 2, 3, 1, 2):
+            rs.add(uid)
+        assert 1 in rs and 3 in rs
+        rs.add(4)
+        rs.add(5)  # evicts 1 (oldest)
+        assert 1 not in rs
+        assert len(rs._set) == 4
+
+    def test_hist_p95_error_bound(self):
+        """Histogram p95 stays within one log-bin of the exact p95."""
+        from repro.stats.metrics import _HIST_BINS, _hist_index, _hist_p95
+
+        rng = np.random.default_rng(5)
+        delays = rng.lognormal(mean=-4.0, sigma=1.5, size=2000)
+        counts = np.zeros(_HIST_BINS, dtype=np.int64)
+        for d in delays:
+            counts[_hist_index(d)] += 1
+        exact = float(np.percentile(delays, 95))
+        approx = _hist_p95(counts, len(delays))
+        # Within one log-bin either way (np.percentile interpolates a
+        # hair above the order statistic the histogram brackets).
+        bin_factor = 10 ** (9.0 / 1024)
+        assert 1 / (bin_factor * 1.01) < approx / exact < bin_factor * 1.01
+
+    def test_stream_collector_keeps_no_per_packet_state(self):
+        cfg = ScenarioConfig(
+            protocol="aodv", n_nodes=12, field_size=(600.0, 300.0),
+            duration=40.0, n_connections=4,
+            traffic_start_window=(0.0, 5.0), seed=2,
+        )
+        from repro.scenario.build import build_scenario
+
+        sc = build_scenario(cfg)
+        assert sc.collector.stream is False
+        import os
+
+        os.environ["MANETSIM_STREAM_STATS"] = "1"
+        try:
+            sc = build_scenario(cfg)
+            assert sc.collector.stream is True
+            summary = sc.run()
+        finally:
+            del os.environ["MANETSIM_STREAM_STATS"]
+        assert summary.data_received > 0
+        assert sc.collector._delays == []
+        assert sc.collector._records == []
+        for flow in summary.flows.values():
+            assert flow.delays == []
+
+    def test_stream_headline_close_to_exact(self):
+        cfg = ScenarioConfig(
+            protocol="aodv", n_nodes=12, field_size=(600.0, 300.0),
+            duration=40.0, n_connections=4,
+            traffic_start_window=(0.0, 5.0), seed=2,
+        )
+        import os
+
+        exact = run_scenario(cfg)
+        os.environ["MANETSIM_STREAM_STATS"] = "1"
+        try:
+            stream = run_scenario(cfg)
+        finally:
+            del os.environ["MANETSIM_STREAM_STATS"]
+        assert stream.data_received == exact.data_received
+        assert stream.avg_delay == pytest.approx(exact.avg_delay, rel=1e-12)
+        assert stream.p95_delay == pytest.approx(exact.p95_delay, rel=0.05)
+
+
+class TestShardPartialMerge:
+    """merge_shard_partials unit behaviour (engine-independent)."""
+
+    def _partial(self, records, flows=None, sent=0):
+        from repro.stats.metrics import ShardPartial
+
+        return ShardPartial(
+            data_sent=sent,
+            data_received=len(records),
+            bytes_received=64 * len(records),
+            records=records,
+            flows=flows or {},
+            layers=(0,) * 8,
+        )
+
+    def test_records_interleave_by_time_then_dst(self):
+        from repro.stats.metrics import merge_shard_partials
+
+        a = self._partial([(1.0, 5, 0.010, 2), (3.0, 5, 0.030, 2)], sent=4)
+        b = self._partial([(2.0, 9, 0.020, 1)], sent=2)
+        merged = merge_shard_partials("aodv", 10.0, [a, b])
+        # Mean over the interleaved order == np.mean of [10, 20, 30] ms.
+        exact = float(np.mean(np.asarray([0.010, 0.020, 0.030])))
+        assert merged.avg_delay == exact
+        assert merged.data_sent == 6
+        assert merged.data_received == 3
+        assert merged.pdr == pytest.approx(0.5)
+
+    def test_flow_stats_merge_fieldwise(self):
+        from repro.stats.metrics import FlowStats, merge_shard_partials
+
+        a = self._partial(
+            [(1.0, 5, 0.01, 1)],
+            flows={0: FlowStats(0, 1, 5, sent=3, received=1, delays=[0.01]),
+                   1: FlowStats(1, 2, 9, sent=0, received=0)},
+            sent=3,
+        )
+        b = self._partial(
+            [(2.0, 9, 0.02, 1)],
+            flows={0: FlowStats(0, 1, 5),
+                   1: FlowStats(1, 2, 9, sent=2, received=1, delays=[0.02])},
+            sent=2,
+        )
+        merged = merge_shard_partials("aodv", 10.0, [a, b])
+        assert merged.flows[0].sent == 3
+        assert merged.flows[0].delays == [0.01]
+        assert merged.flows[1].received == 1
+        assert merged.flows[1].delays == [0.02]
+
+    def test_empty_merge(self):
+        from repro.stats.metrics import merge_shard_partials
+
+        merged = merge_shard_partials("aodv", 10.0, [self._partial([])])
+        assert merged.data_received == 0
+        assert merged.avg_delay == 0.0
+        assert merged.pdr == 0.0
