@@ -31,10 +31,21 @@ shared wheel folded into an existing same-deadline heap sentinel).
 Either decaying means the arena is silently degenerating to per-node
 dispatch.
 
+With ``--manifest PATH`` the script instead validates a sweep
+``manifest.json`` (local or fabric run) against the executor's
+accounting invariants: ``jobs_total == jobs_executed +
+jobs_from_cache``, ``jobs_resumed <= jobs_from_cache``, ``jobs_failed
+== len(failures)``, and — when the manifest records a fabric section —
+non-negative fleet counters with ``results_from_peer_cache <=
+jobs_from_cache``.  These must hold under lease reassignment and
+worker death; a violation means a sweep point was double-counted or
+silently lost, which is exactly what the fabric exists to prevent.
+
 Usage::
 
     python scripts/check_bench_regression.py [--floor 0.90]
         [--ratio-drop 0.20] [path]
+    python scripts/check_bench_regression.py --manifest runs/manifest.json
 """
 
 from __future__ import annotations
@@ -113,6 +124,74 @@ def check(path: pathlib.Path, floor: float, ratio_drop: float) -> int:
     return 0
 
 
+def check_manifest(path: pathlib.Path) -> int:
+    """Validate a sweep manifest's accounting invariants."""
+    manifest = json.loads(path.read_text())
+    problems = []
+
+    def require(cond: bool, label: str) -> None:
+        print(f"  {'ok' if cond else 'FAIL':<5} {label}")
+        if not cond:
+            problems.append(label)
+
+    total = manifest.get("jobs_total", -1)
+    executed = manifest.get("jobs_executed", -1)
+    cached = manifest.get("jobs_from_cache", -1)
+    resumed = manifest.get("jobs_resumed", -1)
+    require(
+        total == executed + cached,
+        f"jobs_total == jobs_executed + jobs_from_cache "
+        f"({total} == {executed} + {cached})",
+    )
+    require(
+        0 <= resumed <= cached,
+        f"0 <= jobs_resumed <= jobs_from_cache ({resumed} <= {cached})",
+    )
+    require(
+        manifest.get("jobs_failed", -1) == len(manifest.get("failures", ())),
+        f"jobs_failed matches the failure list "
+        f"({manifest.get('jobs_failed')} == "
+        f"{len(manifest.get('failures', ()))})",
+    )
+
+    fabric = manifest.get("fabric")
+    if fabric:
+        counter_names = (
+            "points_executed", "points_failed", "results_from_peer_cache",
+            "leases_reassigned", "heartbeats_missed", "fallback_points",
+        )
+        for name in counter_names:
+            value = fabric.get(name, -1)
+            require(
+                isinstance(value, int) and value >= 0,
+                f"fabric.{name} present and non-negative ({value})",
+            )
+        require(
+            fabric.get("results_from_peer_cache", 0) <= cached,
+            f"fabric.results_from_peer_cache <= jobs_from_cache "
+            f"({fabric.get('results_from_peer_cache', 0)} <= {cached})",
+        )
+        if fabric.get("connected"):
+            require(
+                fabric.get("points_executed", 0)
+                + fabric.get("points_failed", 0)
+                + fabric.get("results_from_peer_cache", 0)
+                + fabric.get("fallback_points", 0)
+                == fabric.get("points_sent", -1),
+                "fabric points reconcile (executed + failed + peer-cache "
+                "+ fallback == sent)",
+            )
+    else:
+        print("  skip  no fabric section (local-pool run)")
+
+    if problems:
+        for label in problems:
+            print(f"MANIFEST INVARIANT VIOLATED: {label}", file=sys.stderr)
+        return 1
+    print("manifest invariants hold")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -135,7 +214,20 @@ def main(argv=None) -> int:
         help="maximum tolerated relative drop in any recorded cache "
              "hit ratio (default: 0.20 = 20%%)",
     )
+    parser.add_argument(
+        "--manifest",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="validate a sweep manifest.json's accounting invariants "
+             "instead of checking bench timings",
+    )
     args = parser.parse_args(argv)
+    if args.manifest is not None:
+        if not args.manifest.exists():
+            print(f"error: {args.manifest} not found", file=sys.stderr)
+            return 2
+        return check_manifest(args.manifest)
     if not args.path.exists():
         print(f"error: {args.path} not found", file=sys.stderr)
         return 2

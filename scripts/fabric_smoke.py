@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""CI smoke drill for the sweep fabric: broker + 2 workers + 1 murder.
+
+Orchestrates the acceptance scenario end to end, the way CI sees it:
+
+1. start a broker (in-process, background thread);
+2. spawn two ``repro fabric-worker`` subprocesses with a chaos sleep;
+3. run a small sweep through ``--broker`` (fresh client cache);
+4. SIGKILL one worker as soon as the broker journal shows it holding a
+   lease (named point ``mid-lease``);
+5. assert: the sweep completes with zero lost points, the merged grid
+   is bit-identical to a clean local-pool run, at least one lease was
+   reassigned, and the manifest passes the accounting gate
+   (``check_bench_regression.py --manifest``).
+
+Exit code 0 on success; any violated assertion exits non-zero with a
+diagnostic. Stdlib + repro only.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fabric_smoke.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.fabric.broker import BrokerThread  # noqa: E402
+from repro.scenario import ScenarioConfig, run_sweep  # noqa: E402
+
+SMALL = dict(
+    n_nodes=8,
+    field_size=(400.0, 300.0),
+    duration=10.0,
+    n_connections=2,
+    rate=1.0,
+    max_speed=5.0,
+    traffic_start_window=(0.0, 2.0),
+)
+
+
+def journal_events(path: Path) -> list:
+    events = []
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return events
+    for line in raw.splitlines():
+        try:
+            entry = json.loads(line)
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(entry, dict):
+            events.append(entry)
+    return events
+
+
+def spawn_worker(address: str, wid: str, chaos_sleep: float) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "fabric-worker",
+         "--broker", address, "--id", wid,
+         "--chaos-sleep", str(chaos_sleep)],
+        env=env,
+    )
+
+
+def fail(msg: str) -> None:
+    print(f"FABRIC SMOKE FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir)")
+    args = parser.parse_args(argv)
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="fabric-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    print(f"[workdir: {workdir}]")
+
+    base = ScenarioConfig(protocol="aodv", seed=7, **SMALL)
+
+    def sweep(cache_dir: Path, fabric=None):
+        return run_sweep(
+            base, "pause_time", [0.0, 30.0], ["aodv", "dsdv"],
+            replications=1, processes=1, cache_dir=str(cache_dir),
+            fabric=fabric,
+        )
+
+    fleet_dir = workdir / "fleet"
+    bt = BrokerThread(
+        cache_dir=str(fleet_dir),
+        heartbeat_interval=0.1,
+        lease_ttl=1.0,
+        no_worker_grace=60.0,
+    )
+    broker = bt.start()
+    workers = {}
+    victim_proc = None
+    try:
+        print(f"[broker on {broker.address}]")
+        workers = {
+            wid: spawn_worker(broker.address, wid, chaos_sleep=1.5)
+            for wid in ("smoke-w0", "smoke-w1")
+        }
+        victim = "smoke-w0"
+        victim_proc = workers[victim]
+
+        outcome = {}
+
+        def client():
+            outcome["result"] = sweep(workdir / "client", broker.address)
+
+        t = threading.Thread(target=client, daemon=True)
+        t.start()
+
+        deadline = time.monotonic() + 60.0
+        leased = False
+        while time.monotonic() < deadline and not leased:
+            leased = any(
+                e.get("fabric") == "lease" and e.get("worker") == victim
+                for e in journal_events(broker.journal_path)
+            )
+            time.sleep(0.05)
+        if not leased:
+            fail(f"victim {victim} never received a lease")
+        victim_proc.kill()
+        print(f"[SIGKILLed {victim} mid-lease]")
+
+        t.join(timeout=300.0)
+        if t.is_alive():
+            fail("sweep did not complete within 300 s of the kill")
+        result = outcome["result"]
+    finally:
+        for proc in workers.values():
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in workers.values():
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        bt.stop()
+
+    if not result.ok:
+        fail(f"sweep lost points: {result.failures}")
+    fab = result.fabric or {}
+    print(
+        f"[fleet: executed={fab.get('points_executed')} "
+        f"peer-cache={fab.get('results_from_peer_cache')} "
+        f"reassigned={fab.get('leases_reassigned')} "
+        f"fallback={fab.get('fallback_points')}]"
+    )
+    if fab.get("leases_reassigned", 0) < 1:
+        fail("no lease was reassigned — the kill did not bite")
+
+    clean = sweep(workdir / "local")
+    if result.raw != clean.raw:
+        fail("fleet result is NOT bit-identical to the local-pool run")
+    print("[bit-identical to the clean local run]")
+
+    manifest_path = result.manifest_path
+    if not manifest_path:
+        fail("fabric run produced no manifest")
+    gate = subprocess.run(
+        [sys.executable,
+         str(Path(__file__).resolve().parent / "check_bench_regression.py"),
+         "--manifest", manifest_path],
+    )
+    if gate.returncode != 0:
+        fail("manifest accounting gate failed")
+    print("FABRIC SMOKE PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -206,6 +206,7 @@ def cmd_sweep(args) -> int:
         job_timeout=args.timeout,
         max_retries=args.retries,
         progress=args.progress,
+        fabric=args.broker,
     )
     means = {p: result.series(p, args.metric) for p in args.protocols}
     cis = {
@@ -221,6 +222,19 @@ def cmd_sweep(args) -> int:
         f"[executor: {result.workers} worker(s), chunksize {result.chunksize}, "
         f"cache {result.cache_hits} hit(s) / {result.cache_misses} miss(es)]"
     )
+    if result.fabric:
+        fab = result.fabric
+        if fab.get("connected"):
+            print(
+                f"[fabric {fab['broker']}: {fab.get('points_executed', 0)} "
+                f"executed on fleet, {fab.get('results_from_peer_cache', 0)} "
+                f"from peer cache, {fab.get('leases_reassigned', 0)} lease(s) "
+                f"reassigned, {fab.get('fallback_points', 0)} run locally]"
+            )
+        else:
+            print(
+                f"[fabric {fab['broker']}: unreachable, ran on the local pool]"
+            )
     if args.resume and result.resumed:
         print(f"[resumed {result.resumed} finished point(s) from the journal]")
     for failure in result.failures:
@@ -260,6 +274,75 @@ def cmd_obs_report(args) -> int:
         file=sys.stderr,
     )
     return 1
+
+
+def cmd_serve(args) -> int:
+    """Run a fabric broker (and optionally a local worker fleet)."""
+    import asyncio
+    import signal
+    import subprocess
+
+    from .fabric.broker import Broker
+
+    broker = Broker(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        lease_ttl=args.lease_ttl,
+        job_timeout=args.timeout,
+        max_retries=args.retries,
+    )
+
+    async def _serve() -> int:
+        await broker.start()
+        address = f"{args.host}:{broker.port}"
+        print(f"[fabric broker listening on {address}]", flush=True)
+        workers: List[subprocess.Popen] = []
+        for i in range(args.workers):
+            workers.append(subprocess.Popen([
+                sys.executable, "-m", "repro", "fabric-worker",
+                "--broker", address, "--id", f"serve-w{i}",
+            ]))
+        if workers:
+            print(f"[spawned {len(workers)} local worker(s)]", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await stop.wait()
+        finally:
+            for proc in workers:
+                proc.terminate()
+            for proc in workers:
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+            await broker.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        return 0
+
+
+def cmd_fabric_worker(args) -> int:
+    """Run one fabric worker against a broker until told to stop."""
+    from .fabric.worker import run_worker
+
+    jobs = run_worker(
+        args.broker,
+        worker_id=args.id,
+        max_jobs=args.max_jobs,
+        chaos_sleep=args.chaos_sleep,
+    )
+    print(f"[worker done: {jobs} job(s) executed]", file=sys.stderr)
+    return 0
 
 
 def cmd_protocols(_args) -> int:
@@ -346,8 +429,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--perf", action="store_true",
                        help="include perf-counter and profile columns in "
                             "the --csv output")
+    p_swp.add_argument("--broker", metavar="HOST:PORT", default=None,
+                       help="dispatch cache misses to a repro.fabric broker "
+                            "(see 'repro serve'); unreachable brokers fall "
+                            "back to the local pool with a warning")
     _add_scenario_args(p_swp)
     p_swp.set_defaults(func=cmd_sweep)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run a sweep-fabric broker (accepts workers, sweep clients, "
+             "and HTTP POST /sweep scenario JSON)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7653,
+                       help="TCP port (0 picks a free one; default 7653)")
+    p_srv.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="also spawn N local worker subprocesses")
+    p_srv.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-store root shared with local sweeps "
+                            "(default .manetsim-cache/)")
+    p_srv.add_argument("--lease-ttl", type=float, default=10.0, metavar="S",
+                       help="seconds before a silent lease is reassigned")
+    p_srv.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job wall-clock timeout enforced by workers")
+    p_srv.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="worker-reported failure budget per point")
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_fw = sub.add_parser(
+        "fabric-worker", help="run one leased sweep worker against a broker"
+    )
+    p_fw.add_argument("--broker", required=True, metavar="HOST:PORT")
+    p_fw.add_argument("--id", default=None, help="worker id (default: pid)")
+    p_fw.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                      help="exit after N jobs (default: run forever)")
+    p_fw.add_argument("--chaos-sleep", type=float, default=0.0, metavar="S",
+                      help="sleep S seconds inside every job before running "
+                           "it (test affordance: widens the mid-lease "
+                           "kill window for chaos drills)")
+    p_fw.set_defaults(func=cmd_fabric_worker)
 
     p_ls = sub.add_parser("protocols", help="list available protocols")
     p_ls.set_defaults(func=cmd_protocols)

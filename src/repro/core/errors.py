@@ -15,6 +15,7 @@ __all__ = [
     "PacketError",
     "FaultInjectionError",
     "ExecutorError",
+    "FabricError",
 ]
 
 
@@ -44,3 +45,13 @@ class FaultInjectionError(SimulationError):
 
 class ExecutorError(SimulationError):
     """The sweep executor was misconfigured or a dispatched run failed."""
+
+
+class FabricError(SimulationError):
+    """The distributed sweep fabric (broker/worker/client) failed.
+
+    Subclasses in :mod:`repro.fabric.protocol` distinguish an
+    unreachable broker from a connection lost mid-sweep from a peer
+    speaking garbage; the executor maps all of them onto graceful
+    local-pool fallback rather than a failed sweep.
+    """

@@ -1,0 +1,48 @@
+"""``repro.fabric``: the fault-tolerant distributed sweep fabric.
+
+A stdlib-only (asyncio + sockets) broker/worker service that shards
+sweep points across processes and hosts with robustness as the design
+center: leases with heartbeats, typed failure taxonomy, a
+content-addressed self-healing result store shared fleet-wide, and
+graceful degradation to the local pool whenever the fabric is
+unreachable or exhausted. See DESIGN.md "Sweep fabric".
+
+Heavy submodules (the asyncio broker, the scenario-importing worker)
+load lazily so ``repro.scenario.executor`` can import the store without
+dragging the whole fabric in.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import FabricError
+from .store import ResultStore
+
+__all__ = [
+    "Broker",
+    "BrokerThread",
+    "FabricClient",
+    "FabricError",
+    "FabricUnavailable",
+    "FabricConnectionLost",
+    "ResultStore",
+    "run_worker",
+]
+
+_LAZY = {
+    "Broker": ("repro.fabric.broker", "Broker"),
+    "BrokerThread": ("repro.fabric.broker", "BrokerThread"),
+    "FabricClient": ("repro.fabric.client", "FabricClient"),
+    "FabricUnavailable": ("repro.fabric.protocol", "FabricUnavailable"),
+    "FabricConnectionLost": ("repro.fabric.protocol", "FabricConnectionLost"),
+    "run_worker": ("repro.fabric.worker", "run_worker"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

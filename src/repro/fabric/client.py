@@ -1,0 +1,107 @@
+"""Executor-side fabric client: submit a sweep, stream typed events.
+
+The client is deliberately dumb: connect, send one ``sweep`` frame,
+iterate events until ``done``. All policy — what to do when the broker
+is unreachable, when the stream dies mid-sweep, or when the fleet is
+exhausted — lives in :class:`~repro.scenario.executor.SweepExecutor`,
+which maps every one of those onto graceful local-pool fallback.
+
+Failure surface:
+
+* :class:`~repro.fabric.protocol.FabricUnavailable` from
+  :meth:`FabricClient.connect` — broker not reachable at all;
+* :class:`~repro.fabric.protocol.FabricConnectionLost` from
+  :meth:`FabricClient.events` — the stream died (broker crash,
+  connection reset, read timeout) after some points may already have
+  arrived.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterator, List, Optional
+
+from .protocol import (
+    FabricConnectionLost,
+    FabricProtocolError,
+    FabricUnavailable,
+    LineChannel,
+    PROTOCOL_VERSION,
+    parse_address,
+)
+
+__all__ = ["FabricClient"]
+
+
+class FabricClient:
+    """One sweep conversation with a broker over ``host:port``."""
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = 3.0,
+        read_timeout: float = 30.0,
+    ):
+        self.address = address
+        self.connect_timeout = connect_timeout
+        #: Must exceed the broker's 1 s progress-keepalive cadence by a
+        #: wide margin; a silent stream this long is presumed dead.
+        self.read_timeout = read_timeout
+        self._chan: Optional[LineChannel] = None
+
+    def connect(self) -> None:
+        host, port = parse_address(self.address)
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            raise FabricUnavailable(
+                f"broker {self.address} unreachable: {exc}"
+            ) from None
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._chan = LineChannel(sock)
+
+    def submit(self, jobs: List[dict], options: Optional[dict] = None) -> None:
+        """Send the sweep frame: jobs are {index, key, config} dicts."""
+        assert self._chan is not None, "connect() first"
+        try:
+            self._chan.send({
+                "type": "sweep", "version": PROTOCOL_VERSION,
+                "jobs": jobs, "options": options or {},
+            })
+        except OSError as exc:
+            raise FabricConnectionLost(f"submit failed: {exc}") from None
+
+    def events(self) -> Iterator[dict]:
+        """Yield broker frames until ``done`` (inclusive).
+
+        Raises :class:`FabricConnectionLost` on EOF, reset, garbage, or
+        a read timeout — callers treat anything already yielded as
+        banked and fall back locally for the rest.
+        """
+        assert self._chan is not None, "connect() first"
+        while True:
+            try:
+                msg = self._chan.recv(timeout=self.read_timeout)
+            except (OSError, TimeoutError, FabricProtocolError) as exc:
+                raise FabricConnectionLost(
+                    f"broker stream died: {exc}"
+                ) from None
+            if msg is None:
+                raise FabricConnectionLost("broker closed the stream early")
+            yield msg
+            if msg.get("type") == "done":
+                return
+
+    def close(self) -> None:
+        if self._chan is not None:
+            self._chan.close()
+            self._chan = None
+
+    def __enter__(self) -> "FabricClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

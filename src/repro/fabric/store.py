@@ -1,0 +1,159 @@
+"""Content-addressed, self-healing result store shared by the fabric.
+
+One entry per simulation: the sha256 content hash of a canonical
+:class:`~repro.scenario.config.ScenarioConfig` (see
+:func:`~repro.scenario.executor.config_cache_key`) names a pickled
+:class:`~repro.stats.metrics.MetricsSummary` under
+``<root>/sweep/<k[:2]>/<k>.pkl`` — the same layout the local sweep
+cache has always used, so a broker, its workers, and every local
+:class:`~repro.scenario.executor.SweepExecutor` pointed at the same
+directory share results transparently.
+
+The store is designed for **many concurrent writers that can die at any
+instruction**:
+
+* Publishes are atomic: each ``put`` writes a *uniquely named* tmp file
+  (pid + per-process token + counter, so two workers — or two hosts on
+  a shared filesystem — publishing the same key can never collide),
+  flushes and ``fsync``\\ s it, then ``os.replace``\\ s it over the final
+  name. Readers observe the old entry or the new one, never a torn one.
+* Reads are self-healing: any deserialization failure (truncated
+  pickle, disk damage, version skew) is treated as a miss **and the
+  damaged entry is unlinked**, so the next writer republishes a good
+  copy instead of every reader tripping on the same corpse forever.
+* Crashed writers leave only ``*.tmp`` litter; :meth:`sweep_tmp_litter`
+  reaps stale tmp files without ever touching live entries.
+
+Entries are pickles: only share a store directory with processes you
+trust (the same caveat as the local sweep cache).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import secrets
+from pathlib import Path
+from typing import List, Optional, Union
+
+__all__ = ["ResultStore"]
+
+#: Per-process entropy so tmp names never collide across hosts that
+#: happen to share a pid (e.g. containers on one NFS volume).
+_PROCESS_TOKEN = secrets.token_hex(4)
+
+_TMP_SEQ = itertools.count()
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync so a rename survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class ResultStore:
+    """Pickled summaries under ``<root>/sweep/<k[:2]>/<k>.pkl``."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root) / "sweep"
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / (key + ".pkl")
+
+    # ---------------------------------------------------------------- reads
+
+    def get(self, key: str, heal: bool = True):
+        """Deserialized entry for *key*, or ``None`` on miss.
+
+        *Any* failure to load is a miss; with ``heal`` (the default) a
+        present-but-unreadable entry is also unlinked so it gets
+        recomputed exactly once instead of shadowing the key forever.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated or corrupted pickles can surface as almost any
+            # exception type (ValueError, IndexError, AttributeError,
+            # ImportError...); a cache must never turn disk damage into
+            # a crash, so every deserialization failure is a miss.
+            if heal:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    # --------------------------------------------------------------- writes
+
+    def put(self, key: str, summary) -> bool:
+        """Atomically publish *summary* under *key*; True on success.
+
+        Write → flush → fsync → rename: a writer killed at any point
+        leaves either the previous entry or the new one under the real
+        name, plus at worst one uniquely named tmp file (reaped by
+        :meth:`sweep_tmp_litter`). Failures are swallowed — a cache
+        write must never sink the computation it is caching.
+        """
+        path = self._path(key)
+        tmp = path.parent / (
+            f"{key}.{os.getpid()}.{_PROCESS_TOKEN}.{next(_TMP_SEQ)}.tmp"
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                pickle.dump(summary, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            _fsync_dir(path.parent)
+            return True
+        except Exception:
+            # Serialization failures surface as PicklingError but also
+            # AttributeError/TypeError (unpicklable members); any of
+            # them — or an OSError — means "not cached", never a crash.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+
+    # ------------------------------------------------------------- hygiene
+
+    def sweep_tmp_litter(self, max_age_s: float = 3600.0) -> List[Path]:
+        """Remove tmp files older than *max_age_s*; returns what it reaped.
+
+        Young tmp files are left alone — they may belong to a live
+        writer that simply has not renamed yet.
+        """
+        import time
+
+        reaped: List[Path] = []
+        now = time.time()
+        try:
+            candidates = list(self.root.rglob("*.tmp"))
+        except OSError:
+            return reaped
+        for tmp in candidates:
+            try:
+                if now - tmp.stat().st_mtime >= max_age_s:
+                    tmp.unlink()
+                    reaped.append(tmp)
+            except OSError:
+                continue
+        return reaped

@@ -8,10 +8,16 @@ broken-pool counts, worker utilization, cache/resume accounting). The
 executor writes it as ``manifest.json`` next to the sweep journal, so a
 campaign directory is self-describing and two sweeps are diffable.
 
-Job-count reconciliation invariant (tested):
+Job-count reconciliation invariant (tested, and gated in CI by
+``scripts/check_bench_regression.py --manifest``):
 ``jobs_total == jobs_executed + jobs_from_cache`` and
 ``jobs_resumed <= jobs_from_cache`` — journal-replayed points count as
-already completed, never as fresh executions.
+already completed, never as fresh executions. The invariant holds
+under fabric dispatch too: points answered by a broker's shared store
+count as cache hits (``fabric.results_from_peer_cache``), points
+computed by fleet workers count as executions, and lease reassignments
+(``fabric.leases_reassigned``, ``fabric.heartbeats_missed``) move work
+between workers without ever double-counting a job.
 """
 
 from __future__ import annotations
@@ -79,6 +85,7 @@ def build_manifest(
     job_wall_times_s: Dict[int, float],
     resume: bool,
     cache_salt: str,
+    fabric: Optional[dict] = None,
 ) -> dict:
     """Assemble the manifest dict for one executor run."""
     # Job walls are measured from submission, so queue wait inflates
@@ -115,6 +122,7 @@ def build_manifest(
         "wall_time_s": wall_time_s,
         "job_wall_times_s": {str(k): v for k, v in job_wall_times_s.items()},
         "worker_utilization": utilization,
+        "fabric": fabric,
         "git_sha": git_sha(),
         "python": sys.version.split()[0],
         "numpy": _numpy_version(),
@@ -164,6 +172,25 @@ def manifest_summary_pairs(manifest: dict) -> dict:
         pairs["job wall time mean/max (s)"] = (
             f"{sum(times) / len(times):.3f} / {max(times):.3f}"
         )
+    fabric = manifest.get("fabric")
+    if fabric:
+        pairs["fabric broker"] = fabric.get("broker", "?")
+        if not fabric.get("connected"):
+            pairs["fabric status"] = "unreachable (local fallback)"
+        else:
+            pairs["fabric executed / peer-cache"] = (
+                f"{fabric.get('points_executed', 0)} / "
+                f"{fabric.get('results_from_peer_cache', 0)}"
+            )
+            pairs["fabric leases reassigned / heartbeats missed"] = (
+                f"{fabric.get('leases_reassigned', 0)} / "
+                f"{fabric.get('heartbeats_missed', 0)}"
+            )
+            pairs["fabric workers seen"] = fabric.get("workers_seen", 0)
+            if fabric.get("fallback_points"):
+                pairs["fabric fallback points (run locally)"] = fabric[
+                    "fallback_points"
+                ]
     return pairs
 
 

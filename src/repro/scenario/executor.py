@@ -40,9 +40,20 @@ The disk cache is exact: a :class:`~repro.scenario.config.ScenarioConfig`
 pins a simulation bit-for-bit (frozen primitives + deterministic
 kernel), so the sha256 of its canonical JSON — salted with a cache
 version — keys the pickled :class:`~repro.stats.metrics.MetricsSummary`.
-Writes are atomic (tmp file + ``os.replace``) so a killed worker can
-never publish a torn entry, and reads treat *any* deserialization
-failure as a miss.
+The cache *is* the fabric's content-addressed
+:class:`~repro.fabric.store.ResultStore`: writes are atomic (uniquely
+named tmp file + fsync + ``os.replace``) so concurrent writers — local
+workers, fleet workers, other users sharing the directory — can never
+publish a torn entry or collide, and reads treat *any* deserialization
+failure as a miss (unlinking the damaged entry so it is recomputed
+once, not tripped over forever).
+
+Beyond the local pool, ``run(..., fabric="host:port")`` ships cache
+misses to a :mod:`repro.fabric` broker fleet. Every fabric failure
+mode — broker unreachable, connection lost mid-sweep, fleet exhausted,
+workers dying mid-lease — degrades to the local pool with a warning
+(or is absorbed fleet-side by lease reassignment); a fabric sweep can
+be slower than planned, never lost.
 
 Environment knobs
 -----------------
@@ -63,8 +74,8 @@ import hashlib
 import json
 import multiprocessing as mp
 import os
-import pickle
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -73,6 +84,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ExecutorError
 from ..core.trace import NULL_TRACER, Tracer
+from ..fabric.store import ResultStore
 from ..obs.manifest import ProgressLine, build_manifest, write_manifest
 from ..stats.metrics import MetricsSummary
 from .config import ScenarioConfig
@@ -128,8 +140,12 @@ class FailedRun:
 
     index: int
     config: ScenarioConfig
-    #: ``"exception"`` (worker raised), ``"timeout"`` (wall clock
-    #: exceeded), or ``"broken-pool"`` (the job's worker died).
+    #: Local kinds: ``"exception"`` (worker raised), ``"timeout"``
+    #: (wall clock exceeded), ``"broken-pool"`` (the job's worker
+    #: died). Fabric kinds: ``"worker_lost"`` (a fleet worker's job
+    #: child died), ``"lease_expired"`` (heartbeats stopped; the job
+    #: kept killing its workers past the death budget), and
+    #: ``"connection_reset"`` (worker sockets kept dying mid-lease).
     kind: str
     error: str
     attempts: int
@@ -139,46 +155,13 @@ class FailedRun:
         return True
 
 
-class _DiskCache:
-    """Pickled summaries under ``<root>/sweep/<k[:2]>/<k>.pkl``."""
-
-    def __init__(self, root: Path):
-        self.root = root / "sweep"
-
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / (key + ".pkl")
-
-    def get(self, key: str) -> Optional[MetricsSummary]:
-        path = self._path(key)
-        try:
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
-            return None  # missing or torn entry: recompute
-        except Exception:
-            # Truncated or corrupted pickles can surface as almost any
-            # exception type (ValueError, IndexError, AttributeError,
-            # ImportError...); a cache must never turn disk damage into
-            # a crash, so every deserialization failure is a miss.
-            return None
-
-    def put(self, key: str, summary: MetricsSummary) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic publish: write the whole entry to a private tmp file,
-        # then os.replace it into place. A worker killed mid-write can
-        # only ever leave a stray tmp file, never a truncated entry
-        # under the real key.
-        tmp = path.with_suffix(".tmp.%d" % os.getpid())
-        try:
-            with open(tmp, "wb") as fh:
-                pickle.dump(summary, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except (OSError, pickle.PicklingError):
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
+#: The on-disk cache *is* the fabric's content-addressed result store:
+#: same layout, same atomic-publish discipline (uniquely named tmp +
+#: fsync + rename, so concurrent writers — even across hosts sharing
+#: the directory — can never publish a torn entry or collide on a tmp
+#: name), same self-healing reads. Kept under its historical private
+#: name for the executor's own use.
+_DiskCache = ResultStore
 
 
 class _Journal:
@@ -195,28 +178,39 @@ class _Journal:
 
     def record(self, entry: dict) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        with open(self.path, "a", encoding="utf-8") as fh:
+            # ensure_ascii=False keeps non-ASCII error text readable;
+            # completed_keys() reads in binary, so a crash truncating
+            # the tail mid-character is survivable either way.
+            fh.write(json.dumps(entry, sort_keys=True, ensure_ascii=False) + "\n")
             fh.flush()
 
     def completed_keys(self) -> Dict[str, str]:
-        """Latest recorded status per key (missing file = empty)."""
+        """Latest recorded status per key (missing file = empty).
+
+        Reads in binary and decodes per line: a process killed
+        mid-append can truncate the tail at *any* byte offset —
+        including inside a multi-byte UTF-8 sequence, which would make
+        a text-mode read raise ``UnicodeDecodeError`` for the whole
+        file. Torn or undecodable lines are skipped, never fatal.
+        """
         statuses: Dict[str, str] = {}
         try:
-            with open(self.path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn tail line from a killed process
-                    key = entry.get("key")
-                    if key:
-                        statuses[key] = entry.get("status", "")
+            raw = self.path.read_bytes()
         except OSError:
-            pass
+            return statuses
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue  # torn tail line from a killed process
+            if not isinstance(entry, dict):
+                continue
+            key = entry.get("key")
+            if key:
+                statuses[key] = entry.get("status", "")
         return statuses
 
 
@@ -349,6 +343,8 @@ class SweepExecutor:
         self.last_manifest: Optional[dict] = None
         self.last_manifest_path: Optional[Path] = None
         self._progress: Optional[ProgressLine] = None
+        #: Fabric dispatch record for the last run (None = no fabric).
+        self.last_fabric: Optional[dict] = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -410,6 +406,7 @@ class SweepExecutor:
         configs: Sequence[ScenarioConfig],
         resume: bool = False,
         progress: bool = False,
+        fabric: Optional[str] = None,
     ) -> List[Union[MetricsSummary, FailedRun]]:
         """Execute every config; results align with the input order.
 
@@ -426,6 +423,12 @@ class SweepExecutor:
         journal-restored points seed the "done" count and are excluded
         from the rate, so a resumed sweep's ETA covers only remaining
         work.
+
+        With ``fabric="host:port"``, cache-missing points are shipped
+        to that broker's worker fleet; results the fleet (or its shared
+        store) cannot provide — broker unreachable, connection lost
+        mid-sweep, fleet exhausted — degrade to the local pool with a
+        warning. A fabric sweep can be slower than planned, never lost.
         """
         if resume and not self.use_cache:
             raise ExecutorError(
@@ -477,26 +480,42 @@ class SweepExecutor:
             )
 
         self._progress = ProgressLine(n, already_done=hits) if progress else None
+        self.last_fabric = None
         try:
             if misses:
+                local = pending
+                if fabric is not None:
+                    # Fleet first; whatever comes back unresolved
+                    # (everything when unreachable, the tail when the
+                    # stream died) runs locally.
+                    local = self._run_fabric(
+                        fabric, pending, results, journal, tracer
+                    )
                 # Inline only when serial execution was *requested*. A
                 # one-job batch on a multi-process executor still goes
                 # through the pool: a crashing or hanging job must take
                 # a worker down, never this process.
-                if self.processes == 1:
-                    self._run_inline(pending, results, journal, tracer)
-                else:
-                    self._run_pool(pending, results, journal, tracer)
+                if local and self.processes == 1:
+                    self._run_inline(local, results, journal, tracer)
+                elif local:
+                    self._run_pool(local, results, journal, tracer)
         finally:
             if self._progress is not None:
                 self._progress.finish()
                 self._progress = None
         self.last_failures = [r for r in results if isinstance(r, FailedRun)]
 
+        # Peer-cache answers are cache hits, not executions: keep the
+        # manifest invariant jobs_total == jobs_executed + jobs_from_cache
+        # honest under fabric dispatch.
+        peer_hits = (self.last_fabric or {}).get("results_from_peer_cache", 0)
+        self.last_cache_hits = hits + peer_hits
+        self.last_executed = misses - peer_hits
+
         manifest = build_manifest(
             job_keys=[k or "" for k in keys],
-            jobs_executed=misses,
-            jobs_from_cache=hits,
+            jobs_executed=self.last_executed,
+            jobs_from_cache=self.last_cache_hits,
             jobs_resumed=resumed,
             failures=[
                 {
@@ -516,6 +535,7 @@ class SweepExecutor:
             job_wall_times_s=self.last_job_walls,
             resume=resume,
             cache_salt=_CACHE_SALT,
+            fabric=self.last_fabric,
         )
         self.last_manifest = manifest
         if self.use_cache:
@@ -588,6 +608,147 @@ class SweepExecutor:
                 continue
             results[job.index] = summary
             self._record_ok(job, summary, journal)
+
+    # ------------------------------------------------------- fabric dispatch
+
+    def _run_fabric(
+        self, address: str, pending: List["_Job"], results, journal, tracer
+    ) -> List["_Job"]:
+        """Ship *pending* to the broker fleet at *address*.
+
+        Returns the jobs that still need local execution: all of them
+        when the broker was unreachable, the unresolved tail when the
+        stream died mid-sweep or the fleet was exhausted, and an empty
+        list on a clean fabric run. Never raises: every fabric failure
+        mode degrades to local execution with a warning.
+        """
+        from ..fabric.client import FabricClient
+        from ..fabric.protocol import (
+            FabricConnectionLost,
+            FabricUnavailable,
+            decode_summary,
+        )
+        from .io import config_to_dict
+
+        trace_on = tracer.enabled("sweep")
+        fab: Dict[str, object] = {
+            "broker": address,
+            "connected": False,
+            "points_sent": 0,
+            "points_executed": 0,
+            "points_failed": 0,
+            "results_from_peer_cache": 0,
+            "leases_reassigned": 0,
+            "heartbeats_missed": 0,
+            "fallback_points": 0,
+            "workers_seen": 0,
+            "counters_complete": False,
+        }
+        self.last_fabric = fab
+        client = FabricClient(address)
+        try:
+            client.connect()
+        except FabricUnavailable as exc:
+            fab["error"] = str(exc)
+            fab["fallback_points"] = len(pending)
+            warnings.warn(
+                f"sweep fabric: {exc}; running {len(pending)} point(s) "
+                f"on the local pool",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if trace_on:
+                tracer.log(0.0, "sweep", "fabric-unreachable", str(exc))
+            return pending
+        fab["connected"] = True
+
+        by_index: Dict[int, _Job] = {}
+        specs = []
+        now = time.monotonic()
+        for job in pending:
+            if job.key is None:
+                # Cache off locally; the fleet still needs the content
+                # key to dedup and store results.
+                job.key = config_cache_key(job.config)
+            job.last_start = now
+            by_index[job.index] = job
+            specs.append({
+                "index": job.index,
+                "key": job.key,
+                "config": config_to_dict(job.config),
+            })
+        fab["points_sent"] = len(specs)
+        unresolved = dict(by_index)
+        try:
+            client.submit(specs, options={
+                "job_timeout": self.job_timeout,
+                "max_retries": self.max_retries,
+            })
+            if trace_on:
+                tracer.log(0.0, "sweep", "fabric-submit", address, len(specs))
+            for msg in client.events():
+                mtype = msg.get("type")
+                if mtype == "point":
+                    job = unresolved.pop(msg["index"], None)
+                    if job is None:
+                        continue
+                    summary = decode_summary(msg["summary"])
+                    results[job.index] = summary
+                    if msg.get("cached"):
+                        fab["results_from_peer_cache"] += 1
+                    else:
+                        fab["points_executed"] += 1
+                    self._record_ok(job, summary, journal)
+                elif mtype == "point_failed":
+                    job = unresolved.pop(msg["index"], None)
+                    if job is None:
+                        continue
+                    job.last_kind = str(msg.get("kind", "exception"))
+                    job.last_error = str(msg.get("error", ""))
+                    job.attempts = int(msg.get("attempts", 1))
+                    fab["points_failed"] += 1
+                    results[job.index] = self._record_failed(job, journal)
+                    if trace_on:
+                        tracer.log(
+                            0.0, "sweep", "fabric-job-failed", job.index,
+                            job.last_kind, job.last_error,
+                        )
+                elif mtype == "fleet-exhausted":
+                    warnings.warn(
+                        f"sweep fabric: no workers at {address}; running "
+                        f"{len(unresolved)} point(s) on the local pool",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    if trace_on:
+                        tracer.log(
+                            0.0, "sweep", "fabric-exhausted", len(unresolved)
+                        )
+                elif mtype == "done":
+                    counters = msg.get("counters") or {}
+                    for name in (
+                        "leases_reassigned", "heartbeats_missed",
+                        "workers_seen",
+                    ):
+                        fab[name] = counters.get(name, 0)
+                    fab["fleet_counters"] = counters
+                    fab["counters_complete"] = True
+        except (FabricConnectionLost, OSError) as exc:
+            fab["error"] = str(exc)
+            warnings.warn(
+                f"sweep fabric: connection to {address} lost "
+                f"({exc}); running {len(unresolved)} remaining point(s) "
+                f"on the local pool",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if trace_on:
+                tracer.log(0.0, "sweep", "fabric-lost", str(exc))
+        finally:
+            client.close()
+        leftovers = [by_index[i] for i in sorted(unresolved)]
+        fab["fallback_points"] = len(leftovers)
+        return leftovers
 
     # --------------------------------------------------------- pool dispatch
 

@@ -65,6 +65,9 @@ class SweepResult:
     #: on-disk copy lives at ``manifest_path`` when caching was on.
     manifest: Optional[dict] = None
     manifest_path: Optional[str] = None
+    #: Fabric dispatch record (broker, peer-cache hits, lease
+    #: reassignments, fallback counts); None when no broker was used.
+    fabric: Optional[dict] = None
 
     def series(self, protocol: str, metric: str) -> List[float]:
         """Metric means across the sweep for one protocol.
@@ -118,6 +121,7 @@ def run_sweep(
     job_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     progress: bool = False,
+    fabric: Optional[str] = None,
 ) -> SweepResult:
     """Run the full grid on the persistent sweep executor.
 
@@ -145,6 +149,12 @@ def run_sweep(
     progress:
         Emit the executor's single-line progress display (done/total,
         failures, jobs/s, ETA) on stderr while the sweep runs.
+    fabric:
+        ``host:port`` of a :mod:`repro.fabric` broker; cache misses run
+        on its worker fleet (identical configs computed once
+        fleet-wide). Unreachable broker, lost connection, or an
+        exhausted fleet all degrade to the local pool with a warning —
+        never a failed sweep.
     """
     jobs = sweep_configs(base, param, values, protocols, replications)
     configs = [cfg for _point, cfg in jobs]
@@ -156,7 +166,9 @@ def run_sweep(
         job_timeout=job_timeout,
         max_retries=max_retries,
     )
-    results = executor.run(configs, resume=resume, progress=progress)
+    results = executor.run(
+        configs, resume=resume, progress=progress, fabric=fabric
+    )
 
     raw: Dict[Tuple[str, Any], List[MetricsSummary]] = {}
     failures: List[FailedRun] = []
@@ -187,4 +199,5 @@ def run_sweep(
             if executor.last_manifest_path is not None
             else None
         ),
+        fabric=executor.last_fabric,
     )

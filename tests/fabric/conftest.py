@@ -1,0 +1,115 @@
+"""Shared fixtures for the sweep-fabric suite.
+
+Two worker flavors:
+
+* *thread workers* run :func:`repro.fabric.worker.run_worker` on a
+  daemon thread inside the test process. Their job children are forked
+  from this process, so a monkeypatched
+  ``repro.scenario.run.run_scenario`` reaches them (fork inherits the
+  patched module) — ideal for cheap stubbed dispatch tests.
+* *subprocess workers* go through ``python -m repro fabric-worker``
+  like a real deployment and can be SIGKILLed — the chaos suite's
+  victims.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+import repro
+
+#: A real scenario small enough to simulate in ~50 ms.
+SMALL = dict(
+    n_nodes=8,
+    field_size=(400.0, 300.0),
+    duration=10.0,
+    n_connections=2,
+    rate=1.0,
+    max_speed=5.0,
+    traffic_start_window=(0.0, 2.0),
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fabric workers need fork isolation"
+)
+
+
+@pytest.fixture
+def broker_factory():
+    """Start BrokerThreads; every one is stopped at teardown."""
+    from repro.fabric.broker import BrokerThread
+
+    threads = []
+
+    def make(**kwargs):
+        bt = BrokerThread(**kwargs)
+        broker = bt.start()
+        threads.append(bt)
+        return broker
+
+    yield make
+    for bt in threads:
+        bt.stop()
+
+
+@pytest.fixture
+def thread_worker():
+    """Run in-process workers (joined, not leaked, at teardown)."""
+    from repro.fabric.worker import run_worker
+
+    threads = []
+
+    def spawn(address, **kwargs):
+        kwargs.setdefault("recv_timeout", 5.0)
+        t = threading.Thread(
+            target=run_worker, args=(address,), kwargs=kwargs, daemon=True
+        )
+        t.start()
+        threads.append(t)
+        return t
+
+    yield spawn
+    # Workers exit on their own once their broker goes away (OSError on
+    # the dead socket); give them a moment so threads don't pile up.
+    for t in threads:
+        t.join(timeout=10.0)
+
+
+@pytest.fixture
+def subprocess_worker():
+    """Spawn real ``repro fabric-worker`` processes (SIGKILL targets)."""
+    procs = []
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    def spawn(address, worker_id, chaos_sleep=0.0, max_jobs=None):
+        cmd = [
+            sys.executable, "-m", "repro", "fabric-worker",
+            "--broker", address, "--id", worker_id,
+        ]
+        if chaos_sleep:
+            cmd += ["--chaos-sleep", str(chaos_sleep)]
+        if max_jobs is not None:
+            cmd += ["--max-jobs", str(max_jobs)]
+        proc = subprocess.Popen(
+            cmd, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        procs.append(proc)
+        return proc
+
+    yield spawn
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                proc.send_signal(signal.SIGTERM)
+                proc.wait(timeout=10.0)
+            except (subprocess.TimeoutExpired, OSError):
+                proc.kill()
+                proc.wait(timeout=10.0)

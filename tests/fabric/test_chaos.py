@@ -1,0 +1,239 @@
+"""Chaos drills: kill fabric components at named points, demand exactness.
+
+Kill plans are deterministic in the spirit of :mod:`repro.faults`: the
+victim worker is drawn from a named RNG stream
+(``fabric.chaos.victim``) seeded like any replication, and the kill
+fires at a *named point* — ``mid-lease`` (the victim provably holds a
+lease, widened by the worker's ``chaos_sleep`` affordance) or
+``after-point`` (the broker severs the client stream after N point
+frames, via ``drop_client_after_points``). After every drill the
+merged ``SweepResult`` must be **bit-identical** to a clean local run:
+``run_scenario`` is deterministic in its config, so fault tolerance
+only has to guarantee zero lost points and index-ordered reassembly —
+which is exactly what these tests pin.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.rng import RngStreams
+from repro.fabric.broker import BrokerThread
+from repro.scenario import ScenarioConfig, run_sweep
+
+from .conftest import SMALL
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="chaos drills SIGKILL forked workers"
+)
+
+BASE = ScenarioConfig(protocol="aodv", seed=7, **SMALL)
+
+
+def _sweep(cache_dir, fabric=None):
+    return run_sweep(
+        BASE, "pause_time", [0.0, 30.0], ["aodv", "dsdv"],
+        replications=1, processes=1, cache_dir=str(cache_dir), fabric=fabric,
+    )
+
+
+def _journal_events(path):
+    events = []
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return events
+    for line in raw.splitlines():
+        try:
+            entry = json.loads(line)
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(entry, dict):
+            events.append(entry)
+    return events
+
+
+class TestWorkerKill:
+    def test_sigkilled_worker_mid_lease_loses_zero_points(
+        self, tmp_path, broker_factory, subprocess_worker
+    ):
+        """The acceptance drill: SIGKILL a worker while it provably
+        holds a lease; the lease must be reassigned and the merged
+        result must equal a clean local run bit-for-bit."""
+        fleet_dir = tmp_path / "fleet"
+        broker = broker_factory(
+            cache_dir=str(fleet_dir),
+            heartbeat_interval=0.1,
+            lease_ttl=1.0,
+            no_worker_grace=30.0,
+        )
+        # chaos_sleep stretches every job by 1.5 s: a wide, reliable
+        # mid-lease window to kill into.
+        worker_ids = ["chaos-w0", "chaos-w1"]
+        procs = {
+            wid: subprocess_worker(broker.address, wid, chaos_sleep=1.5)
+            for wid in worker_ids
+        }
+        # Deterministic kill plan: the victim comes from a named RNG
+        # stream, same discipline as repro.faults.
+        victim = worker_ids[
+            int(RngStreams(BASE.seed).stream("fabric.chaos.victim").integers(
+                len(worker_ids)
+            ))
+        ]
+
+        import threading
+
+        outcome = {}
+
+        def client():
+            outcome["result"] = _sweep(tmp_path / "client", broker.address)
+
+        t = threading.Thread(target=client, daemon=True)
+        t.start()
+
+        # Named point "mid-lease": wait until the journal shows the
+        # victim holding a lease, then SIGKILL it inside chaos_sleep.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            leased = [
+                e for e in _journal_events(broker.journal_path)
+                if e.get("fabric") == "lease" and e.get("worker") == victim
+            ]
+            if leased:
+                break
+            time.sleep(0.05)
+        assert leased, f"victim {victim} never received a lease"
+        procs[victim].kill()  # SIGKILL: no goodbye, heartbeats just stop
+
+        t.join(timeout=120.0)
+        assert not t.is_alive(), "sweep did not complete after the kill"
+        result = outcome["result"]
+
+        # Zero lost points, and the survivor absorbed the work.
+        assert result.ok
+        fab = result.fabric
+        assert fab["leases_reassigned"] >= 1
+        assert fab["points_executed"] + fab["fallback_points"] == 4
+        events = _journal_events(broker.journal_path)
+        reassigns = [e for e in events if e.get("fabric") == "reassign"]
+        assert any(e.get("worker") == victim for e in reassigns)
+        assert any(
+            e.get("kind") in ("lease_expired", "connection_reset")
+            for e in reassigns
+        )
+
+        # The acceptance bar: bit-identical to a clean local run.
+        clean = _sweep(tmp_path / "local")
+        assert result.raw == clean.raw
+        m = result.manifest
+        assert m["jobs_total"] == m["jobs_executed"] + m["jobs_from_cache"]
+
+
+class TestBrokerConnectionDrop:
+    def test_client_stream_severed_at_named_point_falls_back(
+        self, tmp_path, thread_worker
+    ):
+        """Named point "after-point": the broker drops the client
+        connection after the first point frame; the executor banks what
+        arrived and finishes the remainder on the local pool."""
+        bt = BrokerThread(
+            cache_dir=str(tmp_path / "fleet"), drop_client_after_points=1
+        )
+        broker = bt.start()
+        try:
+            thread_worker(broker.address)
+            with pytest.warns(RuntimeWarning, match="lost"):
+                result = _sweep(tmp_path / "client", broker.address)
+        finally:
+            bt.stop()
+
+        assert result.ok
+        fab = result.fabric
+        # Exactly one point was banked before the cut; the rest ran
+        # locally — and the merged grid is still exact.
+        assert fab["points_executed"] + fab["results_from_peer_cache"] == 1
+        assert fab["fallback_points"] == 3
+        clean = _sweep(tmp_path / "local")
+        assert result.raw == clean.raw
+        m = result.manifest
+        assert m["jobs_total"] == m["jobs_executed"] + m["jobs_from_cache"]
+
+
+class TestDeathBudget:
+    def test_repeat_assassin_config_is_quarantined(
+        self, tmp_path, broker_factory, subprocess_worker
+    ):
+        """A config that keeps killing its workers exhausts the death
+        budget and comes back as a typed FailedRun instead of eating
+        the fleet — while innocent points still complete."""
+        import threading
+
+        from repro.scenario import FailedRun, SweepExecutor
+
+        broker = broker_factory(
+            cache_dir=str(tmp_path / "fleet"),
+            heartbeat_interval=0.1,
+            lease_ttl=0.6,
+            death_budget=1,
+            no_worker_grace=30.0,
+        )
+
+        # One real config and one assassin: the worker subprocess runs
+        # real scenarios, so the assassin here is US killing whichever
+        # worker leases — twice (death_budget=1 -> quarantine).
+        cfgs = [ScenarioConfig(seed=s, **SMALL) for s in (1, 2)]
+        ex = SweepExecutor(processes=1, use_cache=False)
+        outcome = {}
+
+        def client():
+            outcome["out"] = ex.run(cfgs, fabric=broker.address)
+
+        t = threading.Thread(target=client, daemon=True)
+        t.start()
+        try:
+            killed = 0
+            spawned = 0
+            deadline = time.monotonic() + 60.0
+            proc = None
+            while killed < 2 and time.monotonic() < deadline:
+                if proc is None or proc.poll() is not None:
+                    wid = f"mayfly-{spawned}"
+                    proc = subprocess_worker(
+                        broker.address, wid, chaos_sleep=1.0
+                    )
+                    spawned += 1
+                leases = [
+                    e for e in _journal_events(broker.journal_path)
+                    if e.get("fabric") == "lease"
+                    and e.get("worker") == f"mayfly-{spawned - 1}"
+                ]
+                if leases and proc.poll() is None:
+                    proc.kill()
+                    killed += 1
+                    # Let the reaper notice before the next mayfly.
+                    time.sleep(1.0)
+                else:
+                    time.sleep(0.05)
+            assert killed == 2
+            t.join(timeout=120.0)
+            assert not t.is_alive()
+        finally:
+            ex.close()
+        out = outcome["out"]
+        # Both points resolve: executed on a later worker, quarantined
+        # as a broker-observed failure, or absorbed by local fallback —
+        # but at least one lease death was charged to the death budget.
+        assert len(out) == 2
+        events = _journal_events(broker.journal_path)
+        assert any(e.get("fabric") == "reassign" for e in events)
+        quarantined = [
+            o for o in out
+            if isinstance(o, FailedRun)
+            and o.kind in ("lease_expired", "connection_reset")
+        ]
+        for failed in quarantined:
+            assert "quarantined" in failed.error

@@ -1,0 +1,93 @@
+"""Wire protocol: frames, summary payloads, and the sync channel."""
+
+import socket
+
+import pytest
+
+from repro.core.errors import FabricError
+from repro.fabric.protocol import (
+    MAX_FRAME_BYTES,
+    FabricProtocolError,
+    LineChannel,
+    decode_frame,
+    decode_summary,
+    encode_frame,
+    encode_summary,
+    parse_address,
+)
+
+
+class TestFrames:
+    def test_round_trip(self):
+        msg = {"type": "lease", "lease": 7, "config": {"seed": 1}, "x": None}
+        assert decode_frame(encode_frame(msg)) == msg
+
+    def test_frame_is_one_line(self):
+        assert encode_frame({"a": 1}).endswith(b"\n")
+        assert b"\n" not in encode_frame({"s": "multi\nline"})[:-1]
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(FabricProtocolError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_garbage_rejected(self):
+        with pytest.raises(FabricProtocolError):
+            decode_frame(b"not json at all\n")
+        with pytest.raises(FabricProtocolError):
+            decode_frame(b"[1, 2, 3]\n")  # frames must be objects
+
+
+class TestSummaryPayloads:
+    def test_round_trip_arbitrary_object(self):
+        payload = {"pdr": 0.93, "delays": (0.01, 0.02)}
+        assert decode_summary(encode_summary(payload)) == payload
+
+    def test_corrupt_payload_is_typed_error(self):
+        with pytest.raises(FabricProtocolError):
+            decode_summary("definitely-not-base64-pickle!")
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:7653") == ("127.0.0.1", 7653)
+
+    @pytest.mark.parametrize("bad", ["nohost", "host:", "host:notaport", ""])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(FabricError):
+            parse_address(bad)
+
+
+class TestLineChannel:
+    def _pair(self):
+        a, b = socket.socketpair()
+        return LineChannel(a), LineChannel(b)
+
+    def test_send_recv(self):
+        left, right = self._pair()
+        try:
+            left.send({"type": "hello", "n": 1})
+            left.send({"type": "bye"})
+            assert right.recv(timeout=5.0) == {"type": "hello", "n": 1}
+            assert right.recv(timeout=5.0) == {"type": "bye"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_returns_none(self):
+        left, right = self._pair()
+        try:
+            left.close()
+            assert right.recv(timeout=5.0) is None
+        finally:
+            right.close()
+
+    def test_garbage_line_is_protocol_error(self):
+        a, b = socket.socketpair()
+        chan = LineChannel(b)
+        try:
+            a.sendall(b"}{ broken\n")
+            with pytest.raises(FabricProtocolError):
+                chan.recv(timeout=5.0)
+        finally:
+            a.close()
+            chan.close()

@@ -1,0 +1,153 @@
+"""ResultStore: atomic publish, self-healing reads, concurrent writers."""
+
+import multiprocessing
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.fabric.store import ResultStore
+
+KEY = "ab" + "0" * 62  # shaped like a sha256 config key
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="the race test forks writer processes"
+)
+
+
+class TestBasics:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY) is None
+        assert KEY not in store
+        assert store.put(KEY, {"pdr": 0.9})
+        assert KEY in store
+        assert store.get(KEY) == {"pdr": 0.9}
+
+    def test_sharded_layout_matches_legacy_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, 1)
+        assert (tmp_path / "sweep" / KEY[:2] / (KEY + ".pkl")).exists()
+
+    def test_unpicklable_put_reports_failure_without_litter(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.put(KEY, lambda: None) is False
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert store.get(KEY) is None
+
+
+class TestSelfHealing:
+    def test_torn_entry_is_a_miss_and_unlinked(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"pdr": 0.9})
+        entry = tmp_path / "sweep" / KEY[:2] / (KEY + ".pkl")
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[: len(blob) // 2])
+        assert store.get(KEY) is None
+        assert not entry.exists()  # healed: the corpse is gone
+
+    def test_heal_false_leaves_the_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"pdr": 0.9})
+        entry = tmp_path / "sweep" / KEY[:2] / (KEY + ".pkl")
+        entry.write_bytes(b"\x80garbage")
+        assert store.get(KEY, heal=False) is None
+        assert entry.exists()
+
+    def test_tmp_litter_reaped_only_when_stale(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, 1)
+        stale = tmp_path / "sweep" / KEY[:2] / (KEY + ".999.aa.0.tmp")
+        stale.write_bytes(b"orphan")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        fresh = tmp_path / "sweep" / KEY[:2] / (KEY + ".998.bb.0.tmp")
+        fresh.write_bytes(b"live writer")
+        reaped = store.sweep_tmp_litter(max_age_s=3600.0)
+        assert reaped == [stale]
+        assert fresh.exists()
+        assert store.get(KEY) == 1  # live entries are never touched
+
+
+def _hammer(root, key, writer_id, rounds):
+    """Writer process: publish distinct-but-valid payloads in a loop."""
+    store = ResultStore(root)
+    for i in range(rounds):
+        store.put(key, {"writer": writer_id, "round": i, "pad": "x" * 4096})
+    os._exit(0)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_one_key_never_tear(self, tmp_path):
+        """Satellite regression: the pre-fabric cache named its tmp file
+        ``<key>.tmp.<pid>`` with no fsync — two hosts sharing a pid on a
+        network filesystem could interleave and publish a torn entry.
+        Two forked writers now hammer the same key while the parent
+        reads continuously: every read must be a complete payload from
+        one writer or a clean miss, never an exception or a mix.
+        """
+        ctx = multiprocessing.get_context("fork")
+        rounds = 200
+        writers = [
+            ctx.Process(target=_hammer, args=(tmp_path, KEY, w, rounds))
+            for w in (1, 2)
+        ]
+        for p in writers:
+            p.start()
+        store = ResultStore(tmp_path)
+        reads = 0
+        hits = 0
+        while any(p.is_alive() for p in writers):
+            value = store.get(KEY)
+            reads += 1
+            if value is not None:
+                hits += 1
+                assert set(value) == {"writer", "round", "pad"}
+                assert value["writer"] in (1, 2)
+                assert len(value["pad"]) == 4096
+        for p in writers:
+            p.join(timeout=30.0)
+            assert p.exitcode == 0
+        # The last publish always survives intact.
+        final = store.get(KEY)
+        assert final is not None and final["round"] == rounds - 1
+        assert hits > 0 and reads > 0
+        # No torn reads triggered the healer mid-race, and no tmp
+        # litter survived the stampede.
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_unique_tmp_names_across_processes(self, tmp_path):
+        """The tmp name embeds pid + process token + counter; two
+        same-pid processes (containers on shared storage) still diverge
+        because the token is per-process entropy."""
+        from repro.fabric import store as store_mod
+
+        name_a = f"{KEY}.{os.getpid()}.{store_mod._PROCESS_TOKEN}.0.tmp"
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.SimpleQueue()
+
+        def child():
+            queue.put(store_mod._PROCESS_TOKEN)
+            os._exit(0)
+
+        p = ctx.Process(target=child)
+        p.start()
+        # The forked child inherits the parent's token: the pid is what
+        # disambiguates processes on one host...
+        assert queue.get() == store_mod._PROCESS_TOKEN
+        p.join()
+        # ...while a *fresh* interpreter draws a fresh token, so equal
+        # pids on different hosts cannot collide either.
+        import subprocess
+        import sys
+
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.fabric.store import _PROCESS_TOKEN; "
+             "print(_PROCESS_TOKEN)"],
+            capture_output=True, text=True,
+            env=dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path)),
+        )
+        assert out.returncode == 0
+        assert out.stdout.strip() != store_mod._PROCESS_TOKEN
+        assert name_a.startswith(KEY)

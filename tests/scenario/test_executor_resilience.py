@@ -249,6 +249,36 @@ class TestJournalAndResume:
         assert out == [1, 2]
         assert ex.last_resumed == 2
 
+    def test_journal_truncated_at_any_byte_offset(
+        self, monkeypatch, executor_factory, tmp_path
+    ):
+        # kill -9 mid-append can cut the file at ANY byte — including
+        # inside a multi-byte UTF-8 sequence, which text-mode readers
+        # blow up on (UnicodeDecodeError) before json even gets a say.
+        def stub(cfg):
+            if cfg.seed == 5:
+                raise RuntimeError("ошибка: cursed point")  # non-ASCII
+            return cfg.seed
+
+        monkeypatch.setattr(exmod, "run_scenario", stub)
+        ex = executor_factory(
+            processes=1, use_cache=True, cache_dir=str(tmp_path), max_retries=0
+        )
+        ex.run(cfgs(1, 5, 2))
+        intact = ex.journal_path.read_bytes()
+        assert b"\xd0" in intact  # the Cyrillic error really is multi-byte
+        for cut in range(1, len(intact)):
+            ex.journal_path.write_bytes(intact[:cut])
+            statuses = exmod._Journal(ex.journal_path).completed_keys()
+            # Never raises, and never invents an ok that isn't fully
+            # present in the surviving prefix.
+            assert sum(1 for s in statuses.values() if s == "ok") <= 2
+        # Full file: both ok points resume, the failed one re-runs.
+        ex.journal_path.write_bytes(intact)
+        out = ex.run(cfgs(1, 5, 2), resume=True)
+        assert out[0] == 1 and out[2] == 2
+        assert ex.last_resumed == 2
+
 
 class TestCacheCorruption:
     def test_truncated_entry_is_a_miss_and_recomputed(self, tmp_path):
