@@ -41,11 +41,20 @@ jobs_from_cache``.  These must hold under lease reassignment and
 worker death; a violation means a sweep point was double-counted or
 silently lost, which is exactly what the fabric exists to prevent.
 
+With ``--conservation PATH`` the script validates a flight-recorder
+report (``repro run --flight-report`` or ``repro obs why --json``)
+against the packet-conservation identity: ``offered == delivered +
+Σ drops_by_reason + in_flight`` with ``unaccounted == 0`` and the
+report's own ``conserved`` verdict true.  An unbalanced ledger in CI
+means a code path started discarding data packets without telling the
+recorder — a taxonomy leak the drop-site meta-test should have caught.
+
 Usage::
 
     python scripts/check_bench_regression.py [--floor 0.90]
         [--ratio-drop 0.20] [path]
     python scripts/check_bench_regression.py --manifest runs/manifest.json
+    python scripts/check_bench_regression.py --conservation flight.json
 """
 
 from __future__ import annotations
@@ -192,6 +201,57 @@ def check_manifest(path: pathlib.Path) -> int:
     return 0
 
 
+def check_conservation(path: pathlib.Path) -> int:
+    """Validate a flight report's packet-conservation identity."""
+    report = json.loads(path.read_text())
+    problems = []
+
+    def require(cond: bool, label: str) -> None:
+        print(f"  {'ok' if cond else 'FAIL':<5} {label}")
+        if not cond:
+            problems.append(label)
+
+    offered = report.get("offered", -1)
+    delivered = report.get("delivered", -1)
+    in_flight = report.get("in_flight", -1)
+    unaccounted = report.get("unaccounted", -1)
+    drops = report.get("drops_by_reason") or {}
+    dropped = sum(drops.values())
+
+    require(
+        isinstance(offered, int) and offered > 0,
+        f"offered load recorded ({offered} packets)",
+    )
+    require(
+        all(isinstance(v, int) and v >= 0 for v in drops.values()),
+        f"drop buckets are non-negative counts ({len(drops)} reason(s))",
+    )
+    require(
+        in_flight >= 0 and delivered >= 0,
+        f"delivered/in-flight non-negative ({delivered} / {in_flight})",
+    )
+    require(
+        unaccounted == 0,
+        f"unaccounted == 0 ({unaccounted})",
+    )
+    require(
+        offered == delivered + dropped + in_flight,
+        f"offered == delivered + dropped + in_flight "
+        f"({offered} == {delivered} + {dropped} + {in_flight})",
+    )
+    require(
+        report.get("conserved") is True,
+        f"report's own verdict is conserved ({report.get('conserved')})",
+    )
+
+    if problems:
+        for label in problems:
+            print(f"CONSERVATION VIOLATED: {label}", file=sys.stderr)
+        return 1
+    print("packet conservation holds")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -222,7 +282,20 @@ def main(argv=None) -> int:
         help="validate a sweep manifest.json's accounting invariants "
              "instead of checking bench timings",
     )
+    parser.add_argument(
+        "--conservation",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="validate a flight report JSON's packet-conservation "
+             "identity instead of checking bench timings",
+    )
     args = parser.parse_args(argv)
+    if args.conservation is not None:
+        if not args.conservation.exists():
+            print(f"error: {args.conservation} not found", file=sys.stderr)
+            return 2
+        return check_conservation(args.conservation)
     if args.manifest is not None:
         if not args.manifest.exists():
             print(f"error: {args.manifest} not found", file=sys.stderr)

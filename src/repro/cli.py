@@ -15,6 +15,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.tables import render_kv_table, render_series_table
@@ -126,6 +127,22 @@ def _summary_pairs(s) -> dict:
     return pairs
 
 
+def _flight_pairs(flight: dict) -> dict:
+    """Conservation-report rows for the run/why tables."""
+    pairs = {
+        "packets offered": flight.get("offered", 0),
+        "delivered": flight.get("delivered", 0),
+        "in flight at end": flight.get("in_flight", 0),
+        "unaccounted (taxonomy leaks)": flight.get("unaccounted", 0),
+    }
+    for reason, count in sorted(
+        (flight.get("drops_by_reason") or {}).items()
+    ):
+        pairs[f"dropped: {reason}"] = count
+    pairs["conserved"] = "yes" if flight.get("conserved") else "NO"
+    return pairs
+
+
 def _perf_pairs(perf: dict) -> dict:
     hits = perf.get("fanout_cache_hits", 0)
     misses = perf.get("fanout_cache_misses", 0)
@@ -139,6 +156,8 @@ def cmd_run(args) -> int:
     cfg = _config_from(args, args.protocol)
     if args.profile or args.profile_out:
         cfg = cfg.with_(profile=True)
+    if args.flight or args.flight_trace or args.flight_report:
+        cfg = cfg.with_(flight=True, flight_trace=bool(args.flight_trace))
     if args.telemetry:
         cfg = cfg.with_(telemetry_interval=args.telemetry_interval)
     n_shards = args.shards
@@ -171,6 +190,32 @@ def cmd_run(args) -> int:
             f"[wrote {len(scenario.telemetry.samples)} telemetry "
             f"sample(s) to {args.telemetry}]"
         )
+    flight = summary.flight
+    if flight:
+        print(render_kv_table("Packet conservation", _flight_pairs(flight)))
+        if args.flight_trace:
+            from .obs.flight import write_flight_jsonl
+
+            write_flight_jsonl(flight, args.flight_trace)
+            print(
+                f"[wrote {len(flight.get('events', ()))} flight event(s) "
+                f"to {args.flight_trace}]"
+            )
+        if args.flight_report:
+            report = {
+                k: v for k, v in flight.items()
+                if k not in ("events", "sample")
+            }
+            with open(args.flight_report, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"[wrote {args.flight_report}]")
+        if not flight.get("conserved"):
+            print(
+                "[WARNING: packet conservation violated — "
+                "see 'repro obs why']",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -246,7 +291,10 @@ def cmd_sweep(args) -> int:
             file=sys.stderr,
         )
     if args.csv:
-        sweep_to_csv(result, args.csv, include_perf=args.perf)
+        sweep_to_csv(
+            result, args.csv,
+            include_perf=args.perf, include_drops=args.drops,
+        )
         print(f"[wrote {args.csv}]")
     if result.manifest_path:
         print(f"[manifest: {result.manifest_path}]")
@@ -262,7 +310,9 @@ def cmd_obs_report(args) -> int:
     if not isinstance(data, dict):
         print(f"error: {args.path} is not an obs artifact", file=sys.stderr)
         return 1
-    if "sweep_key" in data and "jobs_total" in data:
+    # Either marker identifies a manifest — old or trimmed manifests
+    # may carry only one of them (the renderer defaults the rest).
+    if "sweep_key" in data or "jobs_total" in data:
         print(render_manifest_report(data))
         return 0
     # Profile dumps map span path -> {calls, wall_s, self_s}.
@@ -274,6 +324,69 @@ def cmd_obs_report(args) -> int:
         file=sys.stderr,
     )
     return 1
+
+
+def cmd_obs_trace(args) -> int:
+    """Convert a flight JSONL into Chrome trace_event JSON."""
+    from .obs.flight import flight_to_chrome, load_flight_jsonl
+
+    flight = load_flight_jsonl(args.path)
+    chrome = flight_to_chrome(flight)
+    with open(args.out, "w") as fh:
+        json.dump(chrome, fh)
+        fh.write("\n")
+    n = sum(1 for e in chrome["traceEvents"] if e.get("ph") == "i")
+    print(
+        f"[wrote {n} event(s) to {args.out} — open in chrome://tracing "
+        f"or https://ui.perfetto.dev]"
+    )
+    return 0
+
+
+def cmd_obs_why(args) -> int:
+    """Conservation report: where did every offered packet end up?
+
+    Accepts either a flight JSONL (from ``repro run --flight-trace``)
+    or a scenario config JSON, which is re-run with the flight recorder
+    on. Exit status 1 when the ledger does not balance.
+    """
+    try:
+        whole = json.loads(Path(args.path).read_text())
+    except json.JSONDecodeError:
+        whole = None  # multi-line JSONL; handled below
+    if isinstance(whole, dict) and "protocol" in whole:
+        cfg = load_config(args.path).with_(flight=True)
+        flight = run_scenario(cfg).flight or {}
+    elif isinstance(whole, dict) and "offered" in whole:
+        flight = whole  # an already-extracted report
+    else:
+        from .obs.flight import load_flight_jsonl
+
+        flight = load_flight_jsonl(args.path)
+    if "offered" not in flight:
+        print(
+            f"error: {args.path} has no conservation report "
+            "(flight JSONL, flight-report JSON, or scenario config expected)",
+            file=sys.stderr,
+        )
+        return 1
+    conserved = bool(flight.get("conserved"))
+    if args.json:
+        report = {
+            k: v for k, v in flight.items() if k not in ("events", "sample")
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_kv_table("Packet conservation", _flight_pairs(flight)))
+        drops = sum((flight.get("drops_by_reason") or {}).values())
+        print(
+            f"[identity: {flight.get('offered', 0)} offered == "
+            f"{flight.get('delivered', 0)} delivered + {drops} dropped + "
+            f"{flight.get('in_flight', 0)} in flight"
+            + ("]" if conserved else
+               f" + {flight.get('unaccounted', 0)} UNACCOUNTED]")
+        )
+    return 0 if conserved else 1
 
 
 def cmd_serve(args) -> int:
@@ -389,6 +502,19 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="telemetry sample period in sim seconds "
                             "(default 1.0; used with --telemetry)")
+    p_run.add_argument("--flight", action="store_true",
+                       help="run the packet flight recorder and print the "
+                            "conservation ledger (offered == delivered + "
+                            "drops-by-reason + in-flight)")
+    p_run.add_argument("--flight-trace", metavar="JSONL",
+                       help="record the per-packet causal event trace and "
+                            "write it as flight JSONL (implies --flight; "
+                            "convert with 'repro obs trace'; sample with "
+                            "MANETSIM_TRACE_SAMPLE=N)")
+    p_run.add_argument("--flight-report", metavar="JSON",
+                       help="write the conservation report as JSON "
+                            "(implies --flight; inspect with "
+                            "'repro obs why')")
     _add_scenario_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -429,6 +555,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--perf", action="store_true",
                        help="include perf-counter and profile columns in "
                             "the --csv output")
+    p_swp.add_argument("--drops", action="store_true",
+                       help="include per-reason drop columns "
+                            "(drop_<reason>) in the --csv output")
     p_swp.add_argument("--broker", metavar="HOST:PORT", default=None,
                        help="dispatch cache misses to a repro.fabric broker "
                             "(see 'repro serve'); unreachable brokers fall "
@@ -480,6 +609,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("path", help="path to manifest.json or a profile dump")
     p_rep.set_defaults(func=cmd_obs_report)
+    p_trc = obs_sub.add_parser(
+        "trace",
+        help="convert a flight JSONL (repro run --flight-trace) to "
+             "Chrome trace_event JSON",
+    )
+    p_trc.add_argument("path", help="flight JSONL input")
+    p_trc.add_argument("-o", "--out", required=True, metavar="JSON",
+                       help="Chrome trace output path")
+    p_trc.set_defaults(func=cmd_obs_trace)
+    p_why = obs_sub.add_parser(
+        "why",
+        help="packet conservation report: where every offered packet "
+             "ended up (exit 1 if the ledger does not balance)",
+    )
+    p_why.add_argument("path",
+                       help="flight JSONL, flight-report JSON, or a "
+                            "scenario config JSON to (re-)run with the "
+                            "recorder on")
+    p_why.add_argument("--json", action="store_true",
+                       help="print the report as JSON instead of a table")
+    p_why.set_defaults(func=cmd_obs_why)
 
     return parser
 

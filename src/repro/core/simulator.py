@@ -57,6 +57,11 @@ class Simulator:
         #: profiled loop is a separate code path, so disabled profiling
         #: costs nothing per event.
         self.profiler = None
+        #: Optional :class:`repro.obs.flight.FlightRecorder`. ``None``
+        #: (the default) leaves every per-packet lifecycle hook dead —
+        #: layers test ``is not None`` on cold drop paths only, so a
+        #: disabled recorder costs nothing and changes nothing.
+        self.flight = None
 
     # ------------------------------------------------------------------ clock
 

@@ -69,6 +69,9 @@ class ResultStore:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / (key + ".pkl")
 
+    def _trace_path(self, key: str) -> Path:
+        return self.root / key[:2] / (key + ".trace.jsonl")
+
     # ---------------------------------------------------------------- reads
 
     def get(self, key: str, heal: bool = True):
@@ -132,6 +135,44 @@ class ResultStore:
             except OSError:
                 pass
             return False
+
+    # --------------------------------------------------------------- traces
+
+    def put_trace(self, key: str, text: str) -> bool:
+        """Atomically publish a flight-trace JSONL document beside *key*.
+
+        Same unique-tmp → fsync → rename discipline as :meth:`put`, so
+        concurrent workers publishing the same key's trace can never
+        tear each other. Failures are swallowed (a trace is telemetry,
+        never worth sinking the result for).
+        """
+        path = self._trace_path(key)
+        tmp = path.parent / (
+            f"{key}.{os.getpid()}.{_PROCESS_TOKEN}.{next(_TMP_SEQ)}.tmp"
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            _fsync_dir(path.parent)
+            return True
+        except Exception:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+
+    def get_trace(self, key: str) -> Optional[str]:
+        """The flight-trace JSONL text for *key*, or ``None`` on miss."""
+        try:
+            with open(self._trace_path(key)) as fh:
+                return fh.read()
+        except OSError:
+            return None
 
     # ------------------------------------------------------------- hygiene
 

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, List, Optional, Set
 
 import numpy as np
 
+from ..core.drops import DropReason
 from ..core.errors import FaultInjectionError
 from ..stats.energy import EnergyParams
 from .plan import FaultPlanConfig
@@ -49,6 +50,7 @@ class FaultStats:
         "blackout_drops",
         "partition_drops",
         "down_rx_drops",
+        "crash_queue_drops",
         "recovery_latencies",
     )
 
@@ -66,6 +68,8 @@ class FaultStats:
         self.partition_drops = 0
         #: Arrivals suppressed because the receiver was down.
         self.down_rx_drops = 0
+        #: Queued data packets destroyed by a crash (IFQ wiped).
+        self.crash_queue_drops = 0
         #: Completed crash→recover durations (s).
         self.recovery_latencies: List[float] = []
 
@@ -178,7 +182,14 @@ class FaultManager:
         if down_hook is not None:
             down_hook()
         # Queued traffic dies with the node.
-        node.mac.ifq.clear()
+        lost = node.mac.ifq.clear()
+        if lost:
+            flight = self.sim.flight
+            for pkt, _nh in lost:
+                if pkt.is_data:
+                    self.stats.crash_queue_drops += 1
+                    if flight is not None:
+                        flight.drop(pkt, DropReason.CRASH_QUEUE, node_id)
         self.stats.crashes += 1
         tracer = self.sim.tracer
         if tracer.enabled("fault"):
@@ -363,3 +374,9 @@ class FaultManager:
         summary.fault_packets_lost = stats.packets_lost + sum(
             node.radio.stats.down_tx_drops for node in self.network.nodes
         )
+        if stats.crash_queue_drops:
+            reasons = dict(summary.drops_by_reason)
+            reasons["crash_queue"] = (
+                reasons.get("crash_queue", 0) + stats.crash_queue_drops
+            )
+            summary.drops_by_reason = reasons

@@ -93,6 +93,13 @@ class MacLayer:
         self.radio = radio
         self.address = radio.node_id
         self.ifq = InterfaceQueue(ifq_capacity)
+        #: Flight recorder, frozen at construction (None = no hooks).
+        self._flight = sim.flight
+        if sim.flight is not None:
+            # Frozen at construction, like the tracer gates: a disabled
+            # recorder leaves the class-attr None defaults untouched.
+            self.ifq.flight = sim.flight
+            self.ifq.addr = radio.node_id
         self.stats = MacStats()
         self.upper: Optional[UpperLayer] = None
         radio.mac = self

@@ -23,6 +23,7 @@ import math
 from collections import OrderedDict
 from typing import Optional, Tuple
 
+from ..core.drops import DropReason
 from ..core.simulator import Simulator
 from ..net.packet import BROADCAST, PACKET_POOL, Packet
 from ..phy.radio import Radio
@@ -152,6 +153,8 @@ class DcfMac(MacLayer):
     def send(self, packet: Packet, next_hop: int) -> None:
         if not self.ifq.push(packet, next_hop):
             self.stats.drops_ifq_full += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.IFQ_FULL, self.address)
             # Never transmitted, so no receiver holds a reference.
             PACKET_POOL.release(packet)
             return
@@ -382,6 +385,12 @@ class DcfMac(MacLayer):
             self._set_backoff(max(1, self._backoff_slots))
             self._set_state(_WAIT_MEDIUM)
             return
+        flight = self._flight
+        if flight is not None and packet.is_data:
+            flight.note(
+                "mac_attempt", packet.origin_uid, self.address,
+                next_hop=next_hop, retry=self._retries,
+            )
         wants_rts = (
             self.use_rtscts
             and next_hop != BROADCAST
@@ -532,6 +541,14 @@ class DcfMac(MacLayer):
             self._current = None
             self._set_state(_IDLE)
             self._cw = Dot11.CW_MIN
+            flight = self._flight
+            if flight is not None and packet.is_data:
+                # Not terminal — the routing layer decides the packet's
+                # fate (salvage / re-buffer / drop) in link_failed.
+                flight.note(
+                    "mac_retry_limit", packet.origin_uid, self.address,
+                    next_hop=next_hop,
+                )
             self._link_failed(packet, next_hop)
             # The failure callback may have re-entered send() (e.g. a
             # routing agent salvaging the packet), which already starts

@@ -14,6 +14,7 @@ beacons (they all support it) when running over :class:`IdealMac`.
 
 from __future__ import annotations
 
+from ..core.drops import DropReason
 from ..net.packet import BROADCAST, PACKET_POOL, Packet
 from .base import MacLayer
 from .frames import Frame, FrameType
@@ -47,6 +48,8 @@ class IdealMac(MacLayer):
     def send(self, packet: Packet, next_hop: int) -> None:
         if not self.ifq.push(packet, next_hop):
             self.stats.drops_ifq_full += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.IFQ_FULL, self.address)
             # Never transmitted, so no receiver holds a reference.
             PACKET_POOL.release(packet)
             return

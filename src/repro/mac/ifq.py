@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Tuple
 
+from ..core.drops import DropReason
 from ..core.errors import ConfigurationError
 from ..net.packet import Packet
 
@@ -24,6 +25,12 @@ Entry = Tuple[Packet, int]
 class InterfaceQueue:
     """Bounded drop-tail queue with priority for control packets."""
 
+    #: Flight recorder + owning node address, wired by the MAC layer
+    #: when packet accounting is on (class attrs keep the default path
+    #: allocation-free).
+    flight = None
+    addr = -1
+
     def __init__(self, capacity: int = 50):
         if capacity < 1:
             raise ConfigurationError(f"IFQ capacity must be >= 1, got {capacity}")
@@ -32,6 +39,8 @@ class InterfaceQueue:
         self._data: Deque[Entry] = deque()
         #: Packets rejected because the queue was full.
         self.drops = 0
+        #: Data packets evicted to admit control (subset of ``drops``).
+        self.evictions = 0
         #: High-water mark of total occupancy.
         self.peak = 0
 
@@ -64,8 +73,11 @@ class InterfaceQueue:
             if packet.is_data or not self._data:
                 self.drops += 1
                 return False
-            self._data.pop()  # evict newest data to admit control
+            evicted, _ = self._data.pop()  # evict newest data to admit control
             self.drops += 1
+            self.evictions += 1
+            if self.flight is not None:
+                self.flight.drop(evicted, DropReason.IFQ_EVICTED, self.addr)
         if packet.is_data:
             self._data.append((packet, next_hop))
         else:
@@ -100,6 +112,14 @@ class InterfaceQueue:
             q.extend(keep)
         return removed
 
-    def clear(self) -> None:
+    def clear(self) -> list[Entry]:
+        """Empty the queue, returning the data entries that were lost.
+
+        The fault subsystem uses the return value to attribute the
+        queued data a crash destroys; callers that predate it may
+        ignore it.
+        """
+        dropped = list(self._data)
         self._control.clear()
         self._data.clear()
+        return dropped

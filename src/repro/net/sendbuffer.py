@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Tuple
 
+from ..core.drops import DropReason
 from ..core.errors import ConfigurationError
 from .packet import Packet
 
@@ -27,6 +28,12 @@ class SendBuffer:
     timeout:
         Seconds a packet may wait before it is dropped (ns-2 default 30).
     """
+
+    #: Flight recorder + owning node address, wired by the scenario
+    #: builder when packet accounting is on (class attrs keep the
+    #: default path allocation-free).
+    flight = None
+    addr = -1
 
     def __init__(self, capacity: int = 64, timeout: float = 30.0):
         if capacity < 1:
@@ -47,8 +54,10 @@ class SendBuffer:
     def add(self, packet: Packet, now: float) -> None:
         """Buffer *packet*; evicts the oldest entry when full."""
         if len(self._entries) >= self.capacity:
-            self._entries.popleft()
+            _, evicted = self._entries.popleft()
             self.drops_full += 1
+            if self.flight is not None:
+                self.flight.drop(evicted, DropReason.SEND_BUFFER_FULL, self.addr)
         self._entries.append((now + self.timeout, packet))
 
     def take_for(self, dst: int, now: float) -> List[Packet]:
@@ -62,6 +71,8 @@ class SendBuffer:
         for deadline, pkt in self._entries:
             if deadline <= now:
                 self.drops_expired += 1
+                if self.flight is not None:
+                    self.flight.drop(pkt, DropReason.SEND_BUFFER_EXPIRED, self.addr)
             elif pkt.dst == dst:
                 out.append(pkt)
             else:
@@ -83,8 +94,15 @@ class SendBuffer:
 
     def purge_expired(self, now: float) -> int:
         """Drop every expired packet; returns how many were dropped."""
-        kept = deque((d, p) for d, p in self._entries if d > now)
-        n = len(self._entries) - len(kept)
+        kept: Deque[Tuple[float, Packet]] = deque()
+        n = 0
+        for d, p in self._entries:
+            if d > now:
+                kept.append((d, p))
+                continue
+            n += 1
+            if self.flight is not None:
+                self.flight.drop(p, DropReason.SEND_BUFFER_EXPIRED, self.addr)
         self.drops_expired += n
         self._entries = kept
         return n

@@ -44,6 +44,14 @@ __all__ = [
 MANIFEST_SCHEMA_VERSION = 1
 
 
+def _as_float(value, default: float = 0.0) -> float:
+    """Coerce a manifest field to float, defaulting on junk/absence."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
 def git_sha(cwd: Optional[str] = None) -> Optional[str]:
     """Current git commit SHA, or ``None`` outside a repo / without git."""
     try:
@@ -141,13 +149,25 @@ def write_manifest(manifest: dict, path: Union[str, Path]) -> None:
 
 
 def manifest_summary_pairs(manifest: dict) -> dict:
-    """Headline key/value pairs for table rendering (``obs report``)."""
-    times = [float(v) for v in manifest.get("job_wall_times_s", {}).values()]
+    """Headline key/value pairs for table rendering (``obs report``).
+
+    Every lookup is defaulted and coerced: a manifest missing optional
+    sections (null ``sweep_key``, absent ``job_wall_times_s``, no
+    ``fabric`` block, unparseable wall times) renders what it has
+    instead of raising.
+    """
+    raw_times = manifest.get("job_wall_times_s") or {}
+    times = []
+    for v in raw_times.values():
+        try:
+            times.append(float(v))
+        except (TypeError, ValueError):
+            continue
     pairs = {
-        "sweep key": manifest.get("sweep_key", "?")[:16],
+        "sweep key": str(manifest.get("sweep_key") or "?")[:16],
         "created": time.strftime(
             "%Y-%m-%d %H:%M:%S",
-            time.localtime(manifest.get("created_unix", 0.0)),
+            time.localtime(_as_float(manifest.get("created_unix"))),
         ),
         "git sha": (manifest.get("git_sha") or "n/a")[:12],
         "python / numpy": (
@@ -163,9 +183,9 @@ def manifest_summary_pairs(manifest: dict) -> dict:
             f"{manifest.get('pool_restarts', 0)}"
         ),
         "workers": manifest.get("workers", 0),
-        "wall time (s)": round(float(manifest.get("wall_time_s", 0.0)), 3),
+        "wall time (s)": round(_as_float(manifest.get("wall_time_s")), 3),
         "worker utilization": round(
-            float(manifest.get("worker_utilization", 0.0)), 3
+            _as_float(manifest.get("worker_utilization")), 3
         ),
     }
     if times:
@@ -173,7 +193,7 @@ def manifest_summary_pairs(manifest: dict) -> dict:
             f"{sum(times) / len(times):.3f} / {max(times):.3f}"
         )
     fabric = manifest.get("fabric")
-    if fabric:
+    if isinstance(fabric, dict) and fabric:
         pairs["fabric broker"] = fabric.get("broker", "?")
         if not fabric.get("connected"):
             pairs["fabric status"] = "unreachable (local fallback)"

@@ -27,6 +27,13 @@ def render_profile_table(
     """
     if not profile:
         return f"{title}: no spans recorded"
+    # Tolerate damaged entries (hand-edited dumps, version skew): a
+    # span whose stats are not a dict renders as zeros instead of
+    # taking the whole report down.
+    profile = {
+        path: (stat if isinstance(stat, dict) else {})
+        for path, stat in profile.items()
+    }
     rows = sorted(
         profile.items(),
         key=lambda kv: kv[1].get("self_s", 0.0),
@@ -57,17 +64,25 @@ def render_profile_table(
 
 
 def render_manifest_report(manifest: dict) -> str:
-    """Key/value view of a sweep manifest plus its failure list."""
+    """Key/value view of a sweep manifest plus its failure list.
+
+    Renders whatever sections exist: manifests from older writers (or
+    trimmed by hand) may lack any optional block — fabric counters,
+    job wall times, even the whole failures list — and still report.
+    """
     pairs = manifest_summary_pairs(manifest)
     width = max(len(str(k)) for k in pairs)
     lines = ["Sweep manifest", "-" * (width + 24)]
     for key, value in pairs.items():
         lines.append(f"{str(key).ljust(width)}  {value}")
-    failures = manifest.get("failures", [])
+    failures = manifest.get("failures") or []
     if failures:
         lines.append("")
         lines.append(f"failures ({len(failures)}):")
         for f in failures:
+            if not isinstance(f, dict):
+                lines.append(f"  {f!r}")
+                continue
             lines.append(
                 f"  #{f.get('index', '?')} {f.get('kind', '?')} "
                 f"after {f.get('attempts', '?')} attempt(s)"

@@ -16,7 +16,12 @@ perf-counter *deltas* accumulated since the previous sample)::
      "route_entries_total": 118, "cache_entries_total": 40,
      "neighbor_entries_total": 96, "inflight_arrivals": 3,
      "mac_responses_abandoned": 2, "nodes_faulted": 1, "energy_j": 151.2,
-     "perf": {"fanout_cache_hits": 904, ...}}
+     "drops_total": 7, "perf": {"fanout_cache_hits": 904, ...}}
+
+Schema history: v2 added the cumulative ``drops_total`` probe and a
+``{"telemetry_schema": N}`` header line in the JSONL export.
+:func:`load_telemetry_jsonl` reads both generations — v1 files (no
+header) are migrated on load with ``drops_total = 0``.
 """
 
 from __future__ import annotations
@@ -32,10 +37,13 @@ from ..stats.energy import EnergyParams
 
 __all__ = [
     "TELEMETRY_SCHEMA",
+    "TELEMETRY_SCHEMA_VERSION",
     "TelemetryRecorder",
     "validate_sample",
     "load_telemetry_jsonl",
 ]
+
+TELEMETRY_SCHEMA_VERSION = 2
 
 #: Field name -> required type for every telemetry sample.
 TELEMETRY_SCHEMA: Dict[str, type] = {
@@ -52,6 +60,7 @@ TELEMETRY_SCHEMA: Dict[str, type] = {
     "mac_responses_abandoned": int,
     "nodes_faulted": int,
     "energy_j": float,
+    "drops_total": int,
     "perf": dict,
 }
 
@@ -154,9 +163,23 @@ class TelemetryRecorder:
         inflight = 0
         abandoned = 0
         faulted = 0
+        drops = 0
         for node in nodes:
             depth = node.mac.queue_depth()
-            abandoned += node.mac.stats.responses_abandoned
+            mstats = node.mac.stats
+            abandoned += mstats.responses_abandoned
+            rstats = node.routing.stats
+            # Cumulative terminal discards so far (salvage is a subset
+            # of no_route; retry-limit frames are counted because the
+            # routing layer may yet turn them into buffer/no-route
+            # drops — this probe tracks pressure, not conservation).
+            drops += (
+                rstats.drops_no_route
+                + rstats.drops_buffer
+                + rstats.drops_link
+                + mstats.drops_retry_limit
+                + mstats.drops_ifq_full
+            )
             ifq_total += depth
             if depth > ifq_max:
                 ifq_max = depth
@@ -208,6 +231,7 @@ class TelemetryRecorder:
             "mac_responses_abandoned": abandoned,
             "nodes_faulted": faulted,
             "energy_j": energy,
+            "drops_total": drops,
             "perf": deltas,
         }
         if len(self.samples) == self.capacity:
@@ -219,8 +243,17 @@ class TelemetryRecorder:
     # --------------------------------------------------------------- export
 
     def write_jsonl(self, path: Union[str, Path]) -> int:
-        """One JSON object per line; returns the sample count written."""
+        """One JSON object per line; returns the sample count written.
+
+        Line 1 is a ``{"telemetry_schema": N}`` header (since schema
+        v2); :func:`load_telemetry_jsonl` also accepts headerless v1
+        files.
+        """
         with open(path, "w") as fh:
+            fh.write(
+                json.dumps({"telemetry_schema": TELEMETRY_SCHEMA_VERSION})
+                + "\n"
+            )
             for sample in self.samples:
                 fh.write(json.dumps(sample, sort_keys=True) + "\n")
         return len(self.samples)
@@ -248,14 +281,27 @@ class TelemetryRecorder:
 
 
 def load_telemetry_jsonl(path: Union[str, Path]) -> List[dict]:
-    """Parse a telemetry JSONL file back into sample dicts (validated)."""
+    """Parse a telemetry JSONL file back into sample dicts (validated).
+
+    Migration-tolerant across schema generations: the v2 header line is
+    consumed (its absence means a v1 file), fields added after a file's
+    schema version are back-filled with zero defaults (``drops_total``
+    for v1 samples), and fields this version does not know about —
+    a *newer* writer — are dropped rather than rejected. Validation
+    still runs on the migrated sample, so genuinely malformed files
+    fail loudly.
+    """
     samples: List[dict] = []
     with open(path) as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
-            sample = json.loads(line)
-            validate_sample(sample)
-            samples.append(sample)
+            entry = json.loads(line)
+            if "telemetry_schema" in entry:
+                continue  # header line; version only gates migration
+            entry.setdefault("drops_total", 0)
+            entry = {k: v for k, v in entry.items() if k in TELEMETRY_SCHEMA}
+            validate_sample(entry)
+            samples.append(entry)
     return samples

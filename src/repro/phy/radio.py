@@ -199,6 +199,13 @@ class Radio:
         # Tracer categories are frozen at construction (core.trace), so
         # the per-arrival `enabled("phy")` check collapses to a bool.
         self._trace_phy = sim.tracer.enabled("phy")
+        # Flight recorder with PHY verdicts requested: frozen here like
+        # the tracer gate. Only the legacy per-pair arrival path emits
+        # verdicts (the builder forces it when trace_phy is on).
+        flight = sim.flight
+        self._flight_phy = (
+            flight if flight is not None and flight.trace_phy else None
+        )
         self.perf = sim.perf
 
     # -------------------------------------------------------------- faults
@@ -330,6 +337,8 @@ class Radio:
         self._tx_end = self.sim.now + duration
         self.stats.frames_sent += 1
         self.stats.airtime_tx += duration
+        if self._flight_phy is not None:
+            self._fnote("phy_tx", frame)
         self.channel.transmit(self, frame, duration)
         # No tx-done event here: the channel's end-of-transmission event
         # calls _transmit_done after ending the receivers' arrivals,
@@ -365,10 +374,15 @@ class Radio:
         "compute it here". ``None`` — not a negative float — is the
         sentinel, so every real timestamp is representable.
         """
+        fp = self._flight_phy
         if self._down:
             self.stats.down_rx_drops += 1
+            if fp is not None:
+                self._fnote("phy_rx_down", frame)
             return None  # powered off: deaf to everything
         if power < self._cs_threshold:
+            if fp is not None:
+                self._fnote("phy_below_cs", frame)
             return None  # undetectable: below the noise visibility floor
         stats = self.stats
         arrivals = self._arrivals
@@ -396,14 +410,21 @@ class Radio:
             # Arrivals during our own transmission are unreceivable.
             entry.corrupted = True
             stats.halfduplex_drops += 1
+            if fp is not None:
+                self._fnote("phy_halfduplex", frame)
         elif rx is not None:
             # Already decoding: capture or mutual corruption.
             if rx.power >= self._capture_ratio * power:
                 stats.capture_ignored += 1
+                if fp is not None:
+                    self._fnote("phy_capture", frame)
             else:
                 rx.corrupted = True
                 entry.corrupted = True
                 stats.collisions += 1
+                if fp is not None:
+                    self._fnote("phy_collision", frame)
+                    self._fnote("phy_collision", rx.frame)
                 if self._trace_phy:
                     sim = self.sim
                     sim.tracer.log(
@@ -420,9 +441,13 @@ class Radio:
             if power >= self._capture_ratio * strongest:
                 self._rx = entry
                 stats.airtime_rx += duration
+                if fp is not None:
+                    self._fnote("phy_decode_start", frame)
             else:
                 entry.corrupted = True
                 stats.collisions += 1
+                if fp is not None:
+                    self._fnote("phy_collision", frame)
         # else: detectable but too weak to decode -> busy only.
 
         arrivals.append(entry)
@@ -431,6 +456,17 @@ class Radio:
             if mac is not None:
                 mac.medium_changed()
         return entry
+
+    def _fnote(self, ev: str, frame: Frame) -> None:
+        """Trace a PHY verdict for the data packet *frame* carries.
+
+        Control frames (RTS/CTS/ACK, routing floods) have no per-packet
+        identity worth tracing; only DATA frames wrapping measured data
+        packets land in the flight trace.
+        """
+        pkt = frame.payload
+        if pkt is not None and pkt.is_data:
+            self._flight_phy.note(ev, pkt.origin_uid, self.node_id)
 
     def end_arrival(self, entry: _Arrival) -> None:
         self._arrivals.remove(entry)

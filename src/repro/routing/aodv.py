@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..core.drops import DropReason
 from ..net.packet import BROADCAST, Packet
 from ..net.sendbuffer import SendBuffer
 from .base import RoutingProtocol
@@ -183,6 +184,8 @@ class Aodv(RoutingProtocol):
         if route is None:
             # No route at an intermediate node: drop and tell upstream.
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             stale = self.table.get(packet.dst)
             seq = stale.dst_seq + 1 if stale else 0
             self._send_rerr([(packet.dst, seq)])
@@ -291,6 +294,9 @@ class Aodv(RoutingProtocol):
             del self._pending[dst]
             dropped = self.buffer.drop_for(dst)
             self.stats.drops_buffer += len(dropped)
+            if self._flight is not None:
+                for pkt in dropped:
+                    self._flight.drop(pkt, DropReason.SEND_BUFFER_GIVEUP, self.addr)
             return
         # Expanding ring: widen, then go network-wide.
         if pending.ttl < TTL_THRESHOLD:
@@ -476,6 +482,8 @@ class Aodv(RoutingProtocol):
                 repaired_dsts.add(pkt.dst)
             else:
                 self.stats.drops_no_route += 1
+                if self._flight is not None:
+                    self._flight.drop(pkt, DropReason.NO_ROUTE, self.addr)
 
         # Destinations under repair defer their RERR until the repair
         # verdict; everything else errors upstream now.
@@ -509,6 +517,9 @@ class Aodv(RoutingProtocol):
         # Repair failed: drop the buffered transit data and error upstream.
         dropped = self.buffer.drop_for(dst)
         self.stats.drops_buffer += len(dropped)
+        if self._flight is not None:
+            for pkt in dropped:
+                self._flight.drop(pkt, DropReason.SEND_BUFFER_GIVEUP, self.addr)
         stale = self.table.get(dst)
         seq = stale.dst_seq if stale is not None else 0
         self._send_rerr([(dst, seq)])

@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 from typing import Any, Optional
 
+from ..core.drops import DropReason
 from ..core.errors import PacketError
 from ..core.simulator import Simulator
 from ..mac.base import MacLayer
@@ -45,6 +46,9 @@ class RoutingStats:
         "drops_ttl",
         "drops_buffer",
         "discoveries",
+        "drops_link",
+        "drops_node_down",
+        "drops_salvage",
     )
 
     def __init__(self) -> None:
@@ -59,6 +63,14 @@ class RoutingStats:
         self.drops_buffer = 0
         #: Route discoveries initiated (reactive protocols).
         self.discoveries = 0
+        #: Data lost to a link failure with no salvage/repair path
+        #: (previously silent in DSDV/OLSR-style protocols).
+        self.drops_link = 0
+        #: Data handled while the agent was crashed (``alive = False``).
+        self.drops_node_down = 0
+        #: DSR salvage-limit drops; a subset of ``drops_no_route``
+        #: (which it also increments, preserving the historical count).
+        self.drops_salvage = 0
 
 
 class RoutingProtocol:
@@ -94,6 +106,8 @@ class RoutingProtocol:
         #: Tracer categories are frozen at construction, so the "route"
         #: gate can be evaluated once instead of per packet.
         self._trace_route = sim.tracer.enabled("route")
+        #: Flight recorder, frozen at construction (None = no hooks).
+        self._flight = sim.flight
         mac.upper = self
 
     # ------------------------------------------------------------ lifecycle
@@ -124,7 +138,14 @@ class RoutingProtocol:
     def deliver(self, packet: Packet, prev_hop: int, rx_power: float) -> None:
         """Dispatch a received packet: control, local delivery, or forward."""
         if not self.alive:
-            return  # crashed: nothing is processed while down
+            # Crashed: nothing is processed while down. A data packet
+            # that still reached us (decode completing across the crash
+            # instant) dies here.
+            if packet.is_data:
+                self.stats.drops_node_down += 1
+                if self._flight is not None:
+                    self._flight.drop(packet, DropReason.NODE_DOWN, self.addr)
+            return
         if packet.kind == PacketKind.CONTROL:
             if packet.proto == self.NAME:
                 self.on_control(packet, prev_hop, rx_power)
@@ -136,7 +157,11 @@ class RoutingProtocol:
             self.on_data_to_forward(packet, prev_hop, rx_power)
 
     def link_failed(self, packet: Packet, next_hop: int) -> None:
-        """MAC retry exhaustion. Default: drop silently."""
+        """MAC retry exhaustion. Default: the packet is lost."""
+        if packet is not None and packet.is_data:
+            self.stats.drops_link += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.LINK_LOST, self.addr)
 
     # ------------------------------------------------------ protocol hooks
 
@@ -250,14 +275,26 @@ class RoutingProtocol:
         Returns False (and counts the drop) when TTL is exhausted.
         """
         if not self.alive:
-            return False  # crashed mid-pipeline: the packet dies here
+            # Crashed mid-pipeline: the packet dies here.
+            self.stats.drops_node_down += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NODE_DOWN, self.addr)
+            return False
         if forwarded:
             try:
                 packet.decrement_ttl()
             except PacketError:
                 self.stats.drops_ttl += 1
+                if self._flight is not None:
+                    self._flight.drop(packet, DropReason.TTL_EXPIRED, self.addr)
                 return False
             self.stats.data_forwarded += 1
+        flight = self._flight
+        if flight is not None:
+            flight.note(
+                "forward" if forwarded else "route_tx",
+                packet.origin_uid, self.addr, next_hop=next_hop,
+            )
         if self._trace_route:
             tracer = self.sim.tracer
             tracer.log(

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..core.drops import DropReason
 from ..net.packet import BROADCAST, Packet
 from ..net.sendbuffer import SendBuffer
 from .base import RoutingProtocol
@@ -238,10 +239,14 @@ class Cbrp(RoutingProtocol):
         route = packet.route
         if not route or self.addr not in route:
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             return
         i = route.index(self.addr)
         if i + 1 >= len(route):
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             return
         # Route shortening: jump to the farthest downstream node we can
         # hear directly.
@@ -293,6 +298,9 @@ class Cbrp(RoutingProtocol):
             del self._pending[dst]
             dropped = self.buffer.drop_for(dst)
             self.stats.drops_buffer += len(dropped)
+            if self._flight is not None:
+                for pkt in dropped:
+                    self._flight.drop(pkt, DropReason.SEND_BUFFER_GIVEUP, self.addr)
             return
         self._send_rreq(dst)
         wait = DISCOVERY_TIMEOUT * (2**pending.retries)
@@ -412,6 +420,8 @@ class Cbrp(RoutingProtocol):
                     self.originate(pkt)
                 else:
                     self.stats.drops_no_route += 1
+                    if self._flight is not None:
+                        self._flight.drop(pkt, DropReason.NO_ROUTE, self.addr)
 
     def _local_repair(self, pkt: Packet, dead_hop: int) -> bool:
         """Bridge to *dead_hop* via a common neighbor (2-hop repair)."""

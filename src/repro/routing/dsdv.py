@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..core.drops import DropReason
 from ..net.packet import BROADCAST, Packet
 from .base import RoutingProtocol
 
@@ -451,6 +452,8 @@ class Dsdv(RoutingProtocol):
         route = self._lookup(packet.dst)
         if route is None:
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             return
         self.send_data(packet, route.next_hop, forwarded=False)
 
@@ -458,6 +461,8 @@ class Dsdv(RoutingProtocol):
         route = self._lookup(packet.dst)
         if route is None:
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             return
         self.send_data(packet, route.next_hop, forwarded=True)
 
@@ -487,7 +492,15 @@ class Dsdv(RoutingProtocol):
                         self._met_np[route.dst] = INFINITY
                     self._changed.add(route.dst)
         # Purge queued packets toward the dead neighbor: without a valid
-        # route they would only burn retries.
-        self.mac.purge_next_hop(next_hop)
+        # route they would only burn retries. DSDV has no discovery to
+        # fall back on, so the failed packet and every purged data
+        # packet are lost here (the paper's headline failure mode).
+        victims = [(packet, next_hop)] if packet is not None else []
+        victims.extend(self.mac.purge_next_hop(next_hop))
+        for pkt, _nh in victims:
+            if pkt.is_data:
+                self.stats.drops_link += 1
+                if self._flight is not None:
+                    self._flight.drop(pkt, DropReason.LINK_LOST, self.addr)
         if broke:
             self._schedule_trigger()

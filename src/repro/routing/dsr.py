@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.drops import DropReason
 from ..net.packet import BROADCAST, Packet
 from ..net.sendbuffer import SendBuffer
 from .base import RoutingProtocol
@@ -198,10 +199,14 @@ class Dsr(RoutingProtocol):
         route = packet.route
         if not route or self.addr not in route:
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             return
         i = route.index(self.addr)
         if i + 1 >= len(route):
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             return
         # Learn from the carried route: onward suffix and reverse prefix.
         self.cache.add(route[i:], self.sim.now)
@@ -245,6 +250,9 @@ class Dsr(RoutingProtocol):
             del self._pending[dst]
             dropped = self.buffer.drop_for(dst)
             self.stats.drops_buffer += len(dropped)
+            if self._flight is not None:
+                for pkt in dropped:
+                    self._flight.drop(pkt, DropReason.SEND_BUFFER_GIVEUP, self.addr)
             return
         self._send_rreq(dst, ttl=FLOOD_TTL)
         wait = DISCOVERY_TIMEOUT * (2 ** (pending.retries - 1))
@@ -380,10 +388,15 @@ class Dsr(RoutingProtocol):
             return
         if pkt.salvage >= MAX_SALVAGE:
             self.stats.drops_no_route += 1
+            self.stats.drops_salvage += 1
+            if self._flight is not None:
+                self._flight.drop(pkt, DropReason.SALVAGE_LIMIT, self.addr)
             return
         alt = self.cache.get(pkt.dst, self.sim.now)
         if alt is None:
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(pkt, DropReason.NO_ROUTE, self.addr)
             return
         pkt.salvage += 1
         self.salvages += 1

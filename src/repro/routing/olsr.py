@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
+from ..core.drops import DropReason
 from ..net.packet import BROADCAST, PACKET_POOL, Packet
 from .base import RoutingProtocol
 from .neighbors import NeighborTable
@@ -280,6 +281,8 @@ class Olsr(RoutingProtocol):
         nh = self._next_hop(packet.dst)
         if nh is None:
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             return
         self.send_data(packet, nh, forwarded=False)
 
@@ -287,6 +290,8 @@ class Olsr(RoutingProtocol):
         nh = self._next_hop(packet.dst)
         if nh is None:
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             return
         self.send_data(packet, nh, forwarded=True)
 
@@ -294,6 +299,14 @@ class Olsr(RoutingProtocol):
 
     def link_failed(self, packet: Packet, next_hop: int) -> None:
         self.neighbors.remove(next_hop)
-        self.mac.purge_next_hop(next_hop)
+        # Proactive like DSDV: no discovery to fall back on, so the
+        # failed packet and the purged queue entries are lost here.
+        victims = [(packet, next_hop)] if packet is not None else []
+        victims.extend(self.mac.purge_next_hop(next_hop))
+        for pkt, _nh in victims:
+            if pkt.is_data:
+                self.stats.drops_link += 1
+                if self._flight is not None:
+                    self._flight.drop(pkt, DropReason.LINK_LOST, self.addr)
         self._dirty = True
         self._select_mprs()

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..core.drops import DropReason
 from ..net.packet import Packet
 from .base import RoutingProtocol
 
@@ -93,6 +94,8 @@ class OracleRouting(RoutingProtocol):
         nh = self._next_hop(packet.dst)
         if nh is None:
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             return
         self.send_data(packet, nh, forwarded=False)
 
@@ -100,6 +103,8 @@ class OracleRouting(RoutingProtocol):
         nh = self._next_hop(packet.dst)
         if nh is None:
             self.stats.drops_no_route += 1
+            if self._flight is not None:
+                self._flight.drop(packet, DropReason.NO_ROUTE, self.addr)
             return
         self.send_data(packet, nh, forwarded=True)
 

@@ -82,6 +82,10 @@ class Scenario:
         summary.perf = self.sim.perf.as_dict()
         if self.sim.profiler is not None:
             summary.profile = self.sim.profiler.as_dict()
+        flight = self.sim.flight
+        if flight is not None:
+            flight.scan_residuals(self.network.nodes)
+            summary.flight = flight.summary_dict()
         return summary
 
 
@@ -237,6 +241,7 @@ def build_scenario(
     cfg: ScenarioConfig,
     uid_base: int = 0,
     record_times: bool = False,
+    flight_phy: bool = True,
 ) -> Scenario:
     """Wire up every layer for *cfg* (deterministic in ``cfg.run_seed``).
 
@@ -244,6 +249,11 @@ def build_scenario(
     engine gives each shard a disjoint block); ``record_times``
     additionally records per-delivery arrival timestamps so shard
     partials can be merged in single-loop delivery order.
+
+    ``flight_phy`` allows a ``cfg.flight_trace`` run to record PHY
+    arrival verdicts, which forces the legacy per-pair arrival engine;
+    the sharded engine passes False (it requires the batched engine)
+    and records the routing/MAC/queue legs of each flight only.
 
     Setting ``MANETSIM_LEGACY_KINEMATICS=1`` selects the legacy per-node
     position loop and disables the channel fan-out cache — the A/B
@@ -281,6 +291,18 @@ def build_scenario(
 
         sim.profiler = Profiler()
     PACKET_POOL.perf = sim.perf
+    if cfg.flight or cfg.flight_trace or os.environ.get("MANETSIM_FLIGHT") == "1":
+        # Attached before the stack builds: radios freeze their PHY
+        # trace hook at construction, and the batched-engine decision
+        # below consults trace_phy.
+        from ..obs.flight import FlightRecorder
+
+        sim.flight = FlightRecorder(
+            sim,
+            trace=cfg.flight_trace,
+            trace_phy=flight_phy,
+            sample=int(os.environ.get("MANETSIM_TRACE_SAMPLE", "1") or "1"),
+        )
     propagation = _make_propagation(cfg)
     params = WAVELAN_914MHZ
     models = _make_mobility(cfg, sim.rng)
@@ -294,12 +316,25 @@ def build_scenario(
         batch_kinematics=not legacy,
         fanout_cache=not legacy,
         position_quantum=cfg.position_quantum,
-        batched_phy=not legacy_phy and cfg.mac == "dcf",
+        batched_phy=(
+            not legacy_phy
+            and cfg.mac == "dcf"
+            and not (sim.flight is not None and sim.flight.trace_phy)
+        ),
         dcf_arena=not legacy_dcf,
     )
     if cfg.protocol == "oracle":
         for node in network.nodes:
             node.routing.mobility = network.mobility
+    if sim.flight is not None:
+        # Send buffers are built inside the routing agents (which have
+        # no sim handle at drop time); wire the recorder + owner address
+        # onto each one here. IFQs are wired by MacLayer.__init__.
+        for node in network.nodes:
+            buf = getattr(node.routing, "buffer", None)
+            if buf is not None:
+                buf.flight = sim.flight
+                buf.addr = node.node_id
 
     collector = MetricsCollector(
         cfg.protocol,
@@ -307,6 +342,7 @@ def build_scenario(
         record_times=record_times,
         stream=os.environ.get("MANETSIM_STREAM_STATS") == "1",
     )
+    collector.flight = sim.flight
     collector.attach(network)
 
     connections = generate_connections(

@@ -116,6 +116,14 @@ class ScenarioConfig:
     #: Sim-time seconds between telemetry probe sweeps; 0 disables the
     #: recorder entirely (no hooks installed, no events scheduled).
     telemetry_interval: float = 0.0
+    #: Attach the packet flight recorder (per-packet drop-reason
+    #: accounting + conservation report on ``MetricsSummary.flight``).
+    #: Off by default: ``sim.flight`` stays None and no hook fires.
+    flight: bool = False
+    #: Additionally record the per-packet causal event trace (implies
+    #: ``flight``); PHY arrival verdicts force the legacy per-pair
+    #: arrival engine in single-process runs.
+    flight_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:

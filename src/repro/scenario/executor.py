@@ -109,7 +109,10 @@ __all__ = [
 #: v6: sharded engine + placement fields (placement/n_clusters/
 #: cluster_gap) entered ScenarioConfig, and the metrics collector was
 #: rebuilt around shard partials/streaming aggregation.
-_CACHE_SALT = "manetsim-sweep-v6"
+#: v7: flight-recorder fields (flight/flight_trace) entered the
+#: canonical config dict and MetricsSummary grew drops_by_reason/
+#: flight — pre-taxonomy pickles lack the per-reason breakdown.
+_CACHE_SALT = "manetsim-sweep-v7"
 
 #: Default cache root, resolved against the working directory.
 _CACHE_DIR = ".manetsim-cache"

@@ -124,18 +124,41 @@ def _perf_profile_columns(rows: List[MetricsSummary]):
     return header, values
 
 
+def _drops_columns(rows: List[MetricsSummary]):
+    """Extra (header, per-row getter) pairs for drop-reason counts.
+
+    One ``drop_<reason>`` column per reason seen anywhere in the rows
+    (sorted union), so every row lines up regardless of which reasons
+    it hit. ``getattr`` with a default keeps cached summaries pickled
+    before the field existed loadable — they report 0 everywhere.
+    """
+    seen = set()
+    for s in rows:
+        seen.update(getattr(s, "drops_by_reason", None) or {})
+    reasons = sorted(seen)
+    header = [f"drop_{r}" for r in reasons]
+
+    def values(_i: int, s: MetricsSummary) -> List:
+        by_reason = getattr(s, "drops_by_reason", None) or {}
+        return [by_reason.get(r, 0) for r in reasons]
+
+    return header, values
+
+
 def summaries_to_csv(
     summaries: Iterable[MetricsSummary],
     path: PathLike,
     extra: Dict[str, List] = None,
     include_perf: bool = False,
+    include_drops: bool = False,
 ) -> None:
     """One row per summary; optional parallel ``extra`` columns.
 
     ``include_perf`` appends the engine's perf-counter columns and the
-    per-layer profile columns after the metric columns; off (the
-    default) keeps the historical header byte-for-byte, so existing
-    golden CSVs stay valid.
+    per-layer profile columns after the metric columns;
+    ``include_drops`` appends per-reason drop columns (after the perf
+    block when both are on). Off (the default) keeps the historical
+    header byte-for-byte, so existing golden CSVs stay valid.
     """
     rows = list(summaries)
     extra = extra or {}
@@ -148,23 +171,34 @@ def summaries_to_csv(
     obs_values = None
     if include_perf:
         obs_header, obs_values = _perf_profile_columns(rows)
+    drops_header: List[str] = []
+    drops_values = None
+    if include_drops:
+        drops_header, drops_values = _drops_columns(rows)
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(list(extra) + _SUMMARY_COLUMNS + obs_header)
+        writer.writerow(
+            list(extra) + _SUMMARY_COLUMNS + obs_header + drops_header
+        )
         for i, s in enumerate(rows):
             writer.writerow(
                 [extra[k][i] for k in extra]
                 + [getattr(s, col) for col in _SUMMARY_COLUMNS]
                 + (obs_values(i, s) if obs_values is not None else [])
+                + (drops_values(i, s) if drops_values is not None else [])
             )
 
 
 def sweep_to_csv(
-    result: SweepResult, path: PathLike, include_perf: bool = False
+    result: SweepResult,
+    path: PathLike,
+    include_perf: bool = False,
+    include_drops: bool = False,
 ) -> None:
     """Flatten a sweep (every replication) into one CSV.
 
-    ``include_perf`` adds perf-counter and profile columns (see
+    ``include_perf`` adds perf-counter and profile columns,
+    ``include_drops`` adds per-reason drop columns (see
     :func:`summaries_to_csv`).
     """
     rows: List[MetricsSummary] = []
@@ -174,4 +208,7 @@ def sweep_to_csv(
             rows.append(s)
             extra[result.param].append(x)
             extra["replication"].append(rep)
-    summaries_to_csv(rows, path, extra=extra, include_perf=include_perf)
+    summaries_to_csv(
+        rows, path, extra=extra,
+        include_perf=include_perf, include_drops=include_drops,
+    )

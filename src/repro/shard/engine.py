@@ -160,8 +160,12 @@ class _ShardWorker:
 
         # Disjoint uid blocks per shard: delivery dedup keys on
         # origin_uid, and cross-shard packet copies preserve it.
+        # flight_phy=False: PHY verdict tracing forces the legacy
+        # arrival engine, which shards cannot use; drop accounting and
+        # routing/MAC trace events still work per shard.
         self.scenario = build_scenario(
-            cfg, uid_base=shard_id << 48, record_times=not stream
+            cfg, uid_base=shard_id << 48, record_times=not stream,
+            flight_phy=False,
         )
         # Capture this shard's uid counters so the inline driver can
         # swap them in when interleaving shards within one process.
@@ -260,6 +264,10 @@ class _ShardWorker:
             )
         sc = self.scenario
         self.channel.flush_phy_stats()
+        if self.sim.flight is not None:
+            # Residual scan before export so the shard's conservation
+            # partial accounts for still-queued packets.
+            self.sim.flight.scan_residuals(sc.network.nodes)
         return sc.collector.partial(sc.network), self.sim.perf.as_dict()
 
 

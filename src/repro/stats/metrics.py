@@ -112,6 +112,16 @@ class MetricsSummary:
     profile: Dict[str, Dict[str, float]] = field(
         default_factory=dict, compare=False
     )
+    #: Per-:class:`~repro.core.drops.DropReason` packet-drop breakdown
+    #: derived from the always-on layer counters (nonzero keys only).
+    #: A cheap aggregate view — exact conservation against offered load
+    #: needs the flight recorder (``flight`` below / ``repro obs why``).
+    drops_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Flight-recorder conservation report (plus trace events when
+    #: ``flight_trace``); ``None`` unless the recorder was attached.
+    #: Excluded from equality so recorder on/off summaries compare
+    #: bit-identical (the recorder must never change results).
+    flight: Optional[dict] = field(default=None, compare=False)
 
     def row(self) -> Dict[str, float]:
         """Flat dict of the headline metrics (for tables/aggregation)."""
@@ -207,6 +217,9 @@ class ShardPartial:
     #: Streaming-mode aggregates ``(delay_sum, hops_sum, hist_counts)``
     #: or None in record mode.
     stream: Optional[tuple] = None
+    #: FlightRecorder.partial() when the shard ran with the recorder
+    #: attached (merged by uid across shards), else None.
+    flight: Optional[dict] = None
 
 
 def _layer_totals(nodes) -> tuple:
@@ -218,20 +231,52 @@ def _layer_totals(nodes) -> tuple:
     drops_retry = 0
     mac_ctrl = 0
     collisions = 0
+    drops_ttl = 0
+    drops_salvage = 0
+    drops_link = 0
+    drops_node_down = 0
+    buf_full = 0
+    buf_expired = 0
+    ifq_evicted = 0
     for node in nodes:
         rs = node.routing.stats
         routing_pkts += rs.control_packets
         routing_bytes += rs.control_bytes
         drops_no_route += rs.drops_no_route
         drops_buffer += rs.drops_buffer
+        drops_ttl += rs.drops_ttl
+        drops_salvage += getattr(rs, "drops_salvage", 0)
+        drops_link += getattr(rs, "drops_link", 0)
+        drops_node_down += getattr(rs, "drops_node_down", 0)
+        buf = getattr(node.routing, "buffer", None)
+        if buf is not None:
+            buf_full += buf.drops_full
+            buf_expired += buf.drops_expired
         ms = node.mac.stats
         drops_ifq += ms.drops_ifq_full
         drops_retry += ms.drops_retry_limit
         mac_ctrl += ms.control_frames_sent
         collisions += node.radio.stats.collisions
+        ifq_evicted += getattr(node.mac.ifq, "evictions", 0)
+    # Terminal-reason breakdown (DropReason values); salvage-limit
+    # drops also increment drops_no_route (the historical counter), so
+    # they are carved out rather than double-counted here.
+    raw = {
+        "no_route": drops_no_route - drops_salvage,
+        "salvage_limit": drops_salvage,
+        "ttl_expired": drops_ttl,
+        "send_buffer_giveup": drops_buffer,
+        "send_buffer_full": buf_full,
+        "send_buffer_expired": buf_expired,
+        "ifq_full": drops_ifq,
+        "ifq_evicted": ifq_evicted,
+        "link_lost": drops_link,
+        "node_down": drops_node_down,
+    }
+    reasons = {k: v for k, v in raw.items() if v}
     return (
         routing_pkts, routing_bytes, drops_no_route, drops_buffer,
-        drops_ifq, drops_retry, mac_ctrl, collisions,
+        drops_ifq, drops_retry, mac_ctrl, collisions, reasons,
     )
 
 
@@ -248,7 +293,7 @@ def _compose_summary(
     flows: Dict[int, FlowStats],
 ) -> MetricsSummary:
     (routing_pkts, routing_bytes, drops_no_route, drops_buffer,
-     drops_ifq, drops_retry, mac_ctrl, collisions) = layers
+     drops_ifq, drops_retry, mac_ctrl, collisions, drop_reasons) = layers
     return MetricsSummary(
         protocol=protocol,
         duration=duration,
@@ -278,6 +323,7 @@ def _compose_summary(
         drops_retry=drops_retry,
         mac_collisions=collisions,
         flows=flows,
+        drops_by_reason=dict(drop_reasons),
     )
 
 
@@ -294,7 +340,17 @@ def merge_shard_partials(
     data_sent = sum(p.data_sent for p in partials)
     received = sum(p.data_received for p in partials)
     bytes_received = sum(p.bytes_received for p in partials)
-    layers = tuple(sum(vals) for vals in zip(*(p.layers for p in partials)))
+    # Layers: eight integer counters summed exactly, plus the
+    # drop-reason dict merged per key.
+    counters = tuple(
+        sum(vals) for vals in zip(*(p.layers[:8] for p in partials))
+    )
+    reasons: Dict[str, int] = {}
+    for p in partials:
+        if len(p.layers) > 8:
+            for k, v in p.layers[8].items():
+                reasons[k] = reasons.get(k, 0) + v
+    layers = counters + (reasons,)
 
     flows: Dict[int, FlowStats] = {}
     for p in partials:
@@ -329,14 +385,23 @@ def merge_shard_partials(
         p95 = float(np.percentile(delays, 95)) if received else 0.0
         avg_hops = float(hops.mean()) if received else 0.0
 
-    return _compose_summary(
+    summary = _compose_summary(
         protocol, duration, data_sent, received, avg_delay, p95,
         avg_hops, bytes_received, layers, flows,
     )
+    if any(p.flight for p in partials):
+        from ..obs.flight import merge_flight_partials
+
+        summary.flight = merge_flight_partials([p.flight for p in partials])
+    return summary
 
 
 class MetricsCollector:
     """Accumulates data-plane events during a run; summarizes at the end."""
+
+    #: Optional FlightRecorder (class default keeps instances hook-free
+    #: unless the scenario builder wires one).
+    flight = None
 
     def __init__(
         self,
@@ -386,7 +451,14 @@ class MetricsCollector:
 
     def on_send(self, packet: Packet) -> None:
         """Hook for traffic sources (CbrSource ``on_send``)."""
-        if packet.created < self.measure_from:
+        measured = packet.created >= self.measure_from
+        flight = self.flight
+        if flight is not None:
+            # Sources invoke on_send *after* the synchronous originate
+            # path, so the recorder may already hold a pre-injection
+            # drop verdict for this packet; inject claims it.
+            flight.inject(packet, measured)
+        if not measured:
             return  # warm-up traffic is not measured
         self.data_sent += 1
         payload = packet.payload
@@ -403,6 +475,9 @@ class MetricsCollector:
         if packet.origin_uid in self._seen_deliveries:
             return  # duplicate delivery (should be rare; MAC dedups)
         self._seen_deliveries.add(packet.origin_uid)
+        flight = self.flight
+        if flight is not None:
+            flight.deliver(packet, packet.dst)
         self.data_received += 1
         # Delivery callbacks run inside the event that delivered the
         # packet, so the simulator clock is the arrival time; ``created``
@@ -469,5 +544,8 @@ class MetricsCollector:
             stream=(
                 (self._delay_sum, self._hops_sum, self._hist)
                 if self.stream else None
+            ),
+            flight=(
+                self.flight.partial() if self.flight is not None else None
             ),
         )

@@ -1,0 +1,143 @@
+"""Fleet observability: /metrics exposition and flight-trace parking.
+
+Two additions ride the broker: a Prometheus text endpoint
+(``GET /metrics``) exposing the fleet counters and live gauges, and
+trace forwarding — a worker whose job ran with ``flight_trace`` ships
+the causal events inside the summary, and the broker parks them as
+flight JSONL in the :class:`ResultStore` *beside* the pickled result
+(which is stripped back to the small conservation report).
+"""
+
+import urllib.request
+
+from repro.fabric.store import ResultStore
+from repro.obs.flight import load_flight_jsonl
+from repro.scenario import ScenarioConfig, run_sweep
+from repro.scenario.executor import config_cache_key
+
+from .conftest import SMALL
+
+KEY = "ab" + "0" * 62
+
+
+class TestStoreTraces:
+    def test_round_trip_beside_the_result(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get_trace(KEY) is None
+        assert store.put_trace(KEY, '{"flight_schema": 1}\n')
+        assert store.get_trace(KEY) == '{"flight_schema": 1}\n'
+        # Sharded layout, .trace.jsonl suffix, beside the .pkl slot.
+        path = tmp_path / "sweep" / KEY[:2] / (KEY + ".trace.jsonl")
+        assert path.exists()
+        assert path.parent == store._path(KEY).parent
+
+    def test_no_tmp_litter_after_publish(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_trace(KEY, "x\n")
+        assert not list((tmp_path / "sweep").rglob("*.tmp"))
+
+    def test_unwritable_root_reports_failure(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("")  # a *file* where the store wants a dir
+        store = ResultStore(target)
+        assert store.put_trace(KEY, "x\n") is False
+        assert store.get_trace(KEY) is None
+
+
+class TestPrometheusEndpoint:
+    def test_metrics_exposition(self, tmp_path, broker_factory):
+        broker = broker_factory(cache_dir=str(tmp_path / "fleet"))
+        with urllib.request.urlopen(
+            f"http://{broker.address}/metrics", timeout=5.0
+        ) as resp:
+            assert resp.status == 200
+            ctype = resp.headers["Content-Type"]
+            body = resp.read().decode()
+        assert ctype.startswith("text/plain")
+        assert "version=0.0.4" in ctype
+        assert "# TYPE manetsim_fabric_jobs_executed_total counter" in body
+        assert "# TYPE manetsim_fabric_workers_connected gauge" in body
+        assert "manetsim_fabric_jobs_pending 0" in body
+        # Every sample line is NAME VALUE (labels allowed), no NaNs.
+        for line in body.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name and float(value) == float(value)
+
+    def test_metrics_count_fleet_work(
+        self, tmp_path, broker_factory, thread_worker
+    ):
+        broker = broker_factory(cache_dir=str(tmp_path / "fleet"))
+        thread_worker(broker.address)
+        base = ScenarioConfig(protocol="aodv", seed=3, **SMALL)
+        result = run_sweep(
+            base, "pause_time", [0.0], ["aodv"],
+            replications=1, processes=1,
+            cache_dir=str(tmp_path / "client"), fabric=broker.address,
+        )
+        assert result.ok
+        with urllib.request.urlopen(
+            f"http://{broker.address}/metrics", timeout=5.0
+        ) as resp:
+            body = resp.read().decode()
+        assert "manetsim_fabric_jobs_executed_total 1" in body
+        # The worker's labeled series appeared.
+        assert 'manetsim_fabric_worker_jobs{worker="' in body
+
+
+class TestTraceForwarding:
+    def test_flight_trace_parks_in_the_store(
+        self, tmp_path, broker_factory, thread_worker
+    ):
+        fleet_dir = tmp_path / "fleet"
+        broker = broker_factory(cache_dir=str(fleet_dir))
+        thread_worker(broker.address)
+        base = ScenarioConfig(
+            protocol="aodv", seed=3, flight=True, flight_trace=True, **SMALL
+        )
+        result = run_sweep(
+            base, "pause_time", [0.0], ["aodv"],
+            replications=1, processes=1,
+            cache_dir=str(tmp_path / "client"), fabric=broker.address,
+        )
+        assert result.ok
+        assert result.fabric["points_executed"] == 1
+
+        (summaries,) = result.raw.values()
+        cfg = base.with_(pause_time=0.0, protocol="aodv", replication=0)
+        key = config_cache_key(cfg)
+        store = ResultStore(fleet_dir)
+
+        # The trace landed beside the result...
+        text = store.get_trace(key)
+        assert text is not None
+        trace_path = tmp_path / "trace.jsonl"
+        trace_path.write_text(text)
+        flight = load_flight_jsonl(trace_path)
+        assert flight["events"]
+        assert flight["conserved"] is True
+
+        # ...and the stored summary keeps only the small report.
+        stored = store.get(key)
+        assert stored is not None
+        assert "events" not in stored.flight
+        assert stored.flight["offered"] == flight["offered"]
+        # Stripped-vs-full is invisible to summary equality (flight is
+        # excluded from compare), so cached answers stay bit-identical.
+        assert stored == summaries[0]
+
+    def test_plain_jobs_leave_no_trace_files(
+        self, tmp_path, broker_factory, thread_worker
+    ):
+        fleet_dir = tmp_path / "fleet"
+        broker = broker_factory(cache_dir=str(fleet_dir))
+        thread_worker(broker.address)
+        base = ScenarioConfig(protocol="aodv", seed=3, **SMALL)
+        result = run_sweep(
+            base, "pause_time", [0.0], ["aodv"],
+            replications=1, processes=1,
+            cache_dir=str(tmp_path / "client"), fabric=broker.address,
+        )
+        assert result.ok
+        assert not list(fleet_dir.rglob("*.trace.jsonl"))

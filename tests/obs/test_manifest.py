@@ -93,6 +93,75 @@ def test_summary_pairs_render():
     assert "job wall time mean/max (s)" in pairs
 
 
+class TestHardenedRendering:
+    """Old, trimmed, or hand-edited manifests still render.
+
+    ``obs report`` is a forensic tool — it gets pointed at artifacts
+    from older writers and from runs that died halfway. Missing or
+    junk optional sections must degrade to placeholders, never raise.
+    """
+
+    def test_summary_pairs_survive_a_gutted_manifest(self):
+        pairs = manifest_summary_pairs({})
+        assert pairs["sweep key"] == "?"
+        assert pairs["jobs total"] == 0
+        assert pairs["wall time (s)"] == 0.0
+        assert "job wall time mean/max (s)" not in pairs
+        assert "fabric broker" not in pairs
+
+    def test_summary_pairs_coerce_junk_fields(self):
+        pairs = manifest_summary_pairs({
+            "sweep_key": None,
+            "created_unix": "not-a-timestamp",
+            "git_sha": None,
+            "wall_time_s": "fast",
+            "worker_utilization": None,
+            "job_wall_times_s": {"0": 0.5, "1": "oops", "2": None},
+            "fabric": "not-a-dict",
+        })
+        assert pairs["sweep key"] == "?"
+        assert pairs["git sha"] == "n/a"
+        assert pairs["wall time (s)"] == 0.0
+        assert pairs["worker utilization"] == 0.0
+        # The one parseable wall time still produces the stat line.
+        assert pairs["job wall time mean/max (s)"] == "0.500 / 0.500"
+        assert "fabric broker" not in pairs
+
+    def test_report_renders_null_failures_section(self):
+        from repro.obs.report import render_manifest_report
+
+        text = render_manifest_report({"failures": None})
+        assert "Sweep manifest" in text
+        assert "failures" not in text
+
+    def test_report_renders_non_dict_failure_entries(self):
+        from repro.obs.report import render_manifest_report
+
+        text = render_manifest_report(
+            {"failures": ["worker exploded", {"index": 3,
+                                             "kind": "timeout",
+                                             "attempts": 2}]}
+        )
+        assert "failures (2):" in text
+        assert "'worker exploded'" in text
+        assert "#3 timeout after 2 attempt(s)" in text
+
+    def test_profile_table_zero_fills_damaged_spans(self):
+        from repro.obs.report import render_profile_table
+
+        text = render_profile_table({
+            "event-loop": {"calls": 2, "wall_s": 0.5, "self_s": 0.5},
+            "corrupted": "not-a-dict",
+        })
+        assert "event-loop" in text and "corrupted" in text
+        assert "100.0" in text  # the intact span owns all self time
+
+    def test_profile_table_empty(self):
+        from repro.obs.report import render_profile_table
+
+        assert "no spans" in render_profile_table({})
+
+
 class TestProgressLine:
     def test_counts_and_eta(self):
         buf = io.StringIO()

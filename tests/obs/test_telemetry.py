@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA,
+    TELEMETRY_SCHEMA_VERSION,
     TelemetryRecorder,
     load_telemetry_jsonl,
     validate_sample,
@@ -118,6 +119,62 @@ def test_jsonl_roundtrip(tmp_path):
     assert n == len(scenario.telemetry.samples)
     loaded = load_telemetry_jsonl(out)
     assert loaded == list(scenario.telemetry.samples)
+
+
+class TestSchemaV2:
+    def test_header_line_declares_version(self, tmp_path):
+        scenario = _scenario(telemetry_interval=3.0)
+        scenario.run()
+        out = tmp_path / "tele.jsonl"
+        scenario.telemetry.write_jsonl(out)
+        import json
+
+        first = json.loads(out.read_text().splitlines()[0])
+        assert first == {"telemetry_schema": TELEMETRY_SCHEMA_VERSION}
+        assert TELEMETRY_SCHEMA_VERSION == 2
+
+    def test_samples_carry_drops_total(self):
+        assert TELEMETRY_SCHEMA["drops_total"] is int
+        scenario = _scenario(telemetry_interval=2.0)
+        scenario.run()
+        totals = [s["drops_total"] for s in scenario.telemetry.samples]
+        # Cumulative pressure counter: monotone, never negative.
+        assert all(t >= 0 for t in totals)
+        assert totals == sorted(totals)
+
+    def test_v1_files_migrate_on_load(self, tmp_path):
+        # A v1 file has no header line and no drops_total field; the
+        # loader backfills drops_total = 0 so old captures stay usable.
+        import json
+
+        scenario = _scenario(telemetry_interval=4.0)
+        scenario.run()
+        v1 = tmp_path / "v1.jsonl"
+        with open(v1, "w") as fh:
+            for s in scenario.telemetry.samples:
+                old = {k: v for k, v in s.items() if k != "drops_total"}
+                fh.write(json.dumps(old) + "\n")
+        loaded = load_telemetry_jsonl(v1)
+        assert len(loaded) == len(scenario.telemetry.samples)
+        assert all(s["drops_total"] == 0 for s in loaded)
+        for s in loaded:
+            validate_sample(s)
+
+    def test_newer_writers_tolerated(self, tmp_path):
+        # A hypothetical v3 writer adds fields this reader has never
+        # heard of; they are dropped, not fatal (forward tolerance).
+        import json
+
+        scenario = _scenario(telemetry_interval=4.0)
+        scenario.run()
+        v3 = tmp_path / "v3.jsonl"
+        with open(v3, "w") as fh:
+            fh.write(json.dumps({"telemetry_schema": 3}) + "\n")
+            for s in scenario.telemetry.samples:
+                fh.write(json.dumps({**s, "novel_probe": 1.5}) + "\n")
+        loaded = load_telemetry_jsonl(v3)
+        assert loaded == list(scenario.telemetry.samples)
+        assert all("novel_probe" not in s for s in loaded)
 
 
 def test_csv_export_flattens_perf(tmp_path):

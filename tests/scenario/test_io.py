@@ -130,3 +130,72 @@ class TestCsvExport:
         sweep_to_csv(result, path, include_perf=True)
         header = path.read_text().splitlines()[0]
         assert "perf_fanout_cache_hits" in header
+
+    def test_drops_columns_off_by_default(self, tmp_path):
+        cfg = ScenarioConfig(protocol="aodv", seed=2, **SMALL)
+        summaries = run_replications(cfg, 1)
+        path = tmp_path / "plain.csv"
+        summaries_to_csv(summaries, path)
+        assert "drop_" not in path.read_text().splitlines()[0]
+
+    def test_drops_columns_opt_in(self, tmp_path):
+        import dataclasses
+
+        cfg = ScenarioConfig(protocol="aodv", seed=2, **SMALL)
+        a, b = run_replications(cfg, 2)
+        # Pin a deterministic taxonomy: columns are the sorted union
+        # across rows, and rows missing a reason read as zero.
+        a = dataclasses.replace(a, drops_by_reason={"no_route": 3})
+        b = dataclasses.replace(b, drops_by_reason={"ifq_full": 2})
+        path = tmp_path / "drops.csv"
+        summaries_to_csv([a, b], path, include_drops=True)
+        rows = list(csv.DictReader(open(path)))
+        assert [r["drop_no_route"] for r in rows] == ["3", "0"]
+        assert [r["drop_ifq_full"] for r in rows] == ["0", "2"]
+        header = path.read_text().splitlines()[0].split(",")
+        drop_cols = [c for c in header if c.startswith("drop_")]
+        assert drop_cols == sorted(drop_cols)
+
+    def test_drops_columns_tolerate_old_pickles(self, tmp_path):
+        # Summaries unpickled from a pre-taxonomy cache have no
+        # drops_by_reason attribute at all; the exporter treats them
+        # as all-zero rather than crashing the whole export.
+        class Legacy:
+            def __init__(self, summary):
+                for col in ("protocol", "duration", "data_sent",
+                            "data_received", "pdr", "avg_delay"):
+                    setattr(self, col, getattr(summary, col))
+
+            def __getattr__(self, name):
+                if name == "drops_by_reason":
+                    raise AttributeError(name)
+                return 0
+
+        import dataclasses
+
+        cfg = ScenarioConfig(protocol="aodv", seed=2, **SMALL)
+        (modern,) = run_replications(cfg, 1)
+        modern = dataclasses.replace(
+            modern, drops_by_reason={"link_lost": 1}
+        )
+        path = tmp_path / "mixed.csv"
+        summaries_to_csv([modern, Legacy(modern)], path, include_drops=True)
+        rows = list(csv.DictReader(open(path)))
+        assert [r["drop_link_lost"] for r in rows] == ["1", "0"]
+
+    def test_sweep_csv_drops_flag(self, tmp_path):
+        base = ScenarioConfig(seed=3, **SMALL)
+        result = run_sweep(base, "pause_time", [0.0], ["aodv"],
+                           replications=1, processes=1)
+        plain = tmp_path / "sweep_plain.csv"
+        sweep_to_csv(result, plain)
+        assert "drop_" not in plain.read_text().splitlines()[0]
+        opted = tmp_path / "sweep_drops.csv"
+        sweep_to_csv(result, opted, include_drops=True)
+        rows = list(csv.DictReader(open(opted)))
+        # Columns appear iff some row recorded that reason; every cell
+        # is a parseable count either way.
+        for row in rows:
+            for col, value in row.items():
+                if col.startswith("drop_"):
+                    assert int(value) >= 0

@@ -147,3 +147,96 @@ def test_obs_report_rejects_garbage(tmp_path, capsys):
     bogus.write_text('{"hello": 1}')
     assert main(["obs", "report", str(bogus)]) == 1
     assert "neither" in capsys.readouterr().err
+
+
+def test_run_flight_prints_conservation(capsys):
+    assert main(["run", "--protocol", "aodv", "--flight", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "Packet conservation" in out
+    assert "conserved" in out
+    assert "unaccounted" in out
+
+
+def test_run_flight_artifacts_and_obs_trace(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "flight.jsonl"
+    report = tmp_path / "flight.json"
+    assert main([
+        "run", "--protocol", "aodv",
+        "--flight-trace", str(trace), "--flight-report", str(report),
+        *FAST,
+    ]) == 0
+    capsys.readouterr()
+    # The report is the small conservation dict, events stripped.
+    rep = json.loads(report.read_text())
+    assert rep["conserved"] is True
+    assert "events" not in rep
+
+    chrome = tmp_path / "chrome.json"
+    assert main(["obs", "trace", str(trace), "-o", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    assert "event(s)" in out and "chrome://tracing" in out
+    doc = json.loads(chrome.read_text())
+    assert doc["traceEvents"]
+    assert all(e["cat"] == "flight" for e in doc["traceEvents"])
+
+
+def test_obs_why_on_flight_jsonl(tmp_path, capsys):
+    trace = tmp_path / "flight.jsonl"
+    assert main([
+        "run", "--protocol", "aodv", "--flight-trace", str(trace), *FAST,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["obs", "why", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "offered" in out and "delivered" in out
+    assert "conserved" in out
+    # The identity is spelled out for the reader.
+    assert "offered ==" in out and "in flight" in out
+
+
+def test_obs_why_json_mode_on_report(tmp_path, capsys):
+    import json
+
+    report = tmp_path / "flight.json"
+    assert main([
+        "run", "--protocol", "aodv", "--flight-report", str(report), *FAST,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["obs", "why", "--json", str(report)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["conserved"] is True
+    assert doc["unaccounted"] == 0
+
+
+def test_obs_why_reruns_a_scenario_config(tmp_path, capsys):
+    # Pointing `why` at a scenario config re-runs it with the recorder
+    # on — the one-command answer to "where did my packets go".
+    cfg_path = tmp_path / "scn.json"
+    assert main([
+        "run", "--protocol", "aodv", "--save-config", str(cfg_path), *FAST,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["obs", "why", str(cfg_path)]) == 0
+    out = capsys.readouterr().out
+    assert "conserved" in out and "| yes" in out
+
+
+def test_obs_why_rejects_garbage(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"hello": 1}')
+    assert main(["obs", "why", str(bogus)]) == 1
+
+
+def test_sweep_drops_csv_columns(tmp_path):
+    csv_path = tmp_path / "sweep.csv"
+    assert main([
+        "sweep", "--param", "pause_time", "--values", "0",
+        "--protocols", "aodv", "--processes", "1", "--drops",
+        "--csv", str(csv_path), *FAST,
+    ]) == 0
+    lines = csv_path.read_text().splitlines()
+    # drop_<reason> columns come from the always-on counter tier; this
+    # contended 10-node scenario always records at least one reason.
+    assert "drop_" in lines[0]
